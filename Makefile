@@ -1,0 +1,35 @@
+# Convenience targets for the repro toolkit.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	pip install -e .[dev]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-report:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-report:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/policy_shootout.py
+	$(PYTHON) examples/opt_headroom.py
+	$(PYTHON) examples/graph_cache_study.py
+	$(PYTHON) examples/complexity_vs_benefit.py
+
+experiments:
+	$(PYTHON) -m repro experiment table1
+	$(PYTHON) -m repro experiment e11
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,21 @@
+"""E5 — DRAM transactions per kilo-instruction on GAP, per policy.
+
+The pressure side of the paper's story: GAP kernels drive near-constant
+DRAM traffic regardless of the LLC policy, because the misses are
+capacity-fundamental rather than decision-fixable.
+"""
+
+from repro.harness.experiments import experiment_dram_traffic
+
+
+def test_e5_dram_traffic(benchmark, emit):
+    report = benchmark.pedantic(experiment_dram_traffic, rounds=1, iterations=1)
+    emit("e5_dram_traffic", report)
+
+    policies = report.headers[1:]
+    for row in report.rows:
+        workload, values = row[0], dict(zip(policies, row[1:]))
+        # Traffic is substantial under every policy...
+        assert all(v > 5 for v in values.values()), workload
+        # ...and no policy changes it by more than ~50% in either direction.
+        assert max(values.values()) < 1.6 * min(values.values()), (workload, values)

@@ -1,0 +1,31 @@
+"""Figure 2 — MPKI across the hierarchy for GAP workloads (plus E5's
+L1D-miss-to-DRAM fraction, which the paper reports alongside it)."""
+
+from repro.harness.experiments import experiment_fig2
+
+
+def test_fig2_gap_mpki_across_hierarchy(benchmark, emit):
+    report = benchmark.pedantic(experiment_fig2, rounds=1, iterations=1)
+    emit("fig2_mpki", report)
+
+    mean_row = next(r for r in report.rows if r[0] == "MEAN")
+    _, l1d, l2c, llc, dram_frac = mean_row
+
+    # Paper's qualitative shape (Fig. 2): every level suffers double-digit
+    # MPKI, the hierarchy filters L1D -> L2 -> LLC monotonically, and a
+    # large share of L1D misses must be served by DRAM.
+    assert l1d > l2c > llc, "MPKI must decrease down the hierarchy"
+    assert llc > 15, "GAP workloads must stay miss-dominated at the LLC"
+    assert l2c > 30
+    # Paper averages 53.2 / 44.2 / 41.8: our LLC and L2C figures must land
+    # in the same band (traces are array-access-only, so L1D runs higher —
+    # see EXPERIMENTS.md).
+    assert 25 < llc < 70
+    assert 30 < l2c < 80
+    assert dram_frac > 0.35, "most deep misses must reach DRAM"
+
+    # Per-workload: every GAP kernel individually is miss-heavy at the LLC.
+    for row in report.rows:
+        if row[0] == "MEAN":
+            continue
+        assert row[3] > 10, f"{row[0]} should have LLC MPKI > 10"

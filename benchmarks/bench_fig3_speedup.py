@@ -1,0 +1,36 @@
+"""Figure 3 — geomean speed-up over LRU per suite per policy.
+
+The paper's headline figure: on SPEC 2006/2017 the learned policies
+(SHiP, Hawkeye, Glider, MPPPB) deliver clear wins over LRU; on GAP all
+six policies collapse to ~1.0 and the learned ones do not dominate.
+"""
+
+from repro.harness.experiments import experiment_fig3
+from repro.policies.registry import PAPER_POLICIES
+
+
+def test_fig3_geomean_speedups(benchmark, emit):
+    report = benchmark.pedantic(experiment_fig3, rounds=1, iterations=1)
+    emit("fig3_speedup", report)
+
+    by_suite = {row[0]: dict(zip(PAPER_POLICIES, row[1:])) for row in report.rows}
+    spec06, spec17, gap = by_suite["spec06"], by_suite["spec17"], by_suite["gap"]
+    learned = ("ship", "hawkeye", "glider", "mpppb")
+
+    # SPEC suites: everything at or above LRU, learned policies at the top.
+    for suite in (spec06, spec17):
+        assert all(s > 0.97 for s in suite.values())
+        assert max(suite[p] for p in learned) >= suite["srrip"]
+        assert max(suite.values()) > 1.03, "some policy must clearly beat LRU"
+
+    # GAP: the paper's key claim — every policy clusters near 1.0, with
+    # no policy achieving SPEC-class gains, and the heavyweight learned
+    # policies failing to dominate the simple ones.
+    assert all(0.9 < s < 1.15 for s in gap.values()), gap
+    assert max(gap[p] for p in ("hawkeye", "glider", "mpppb")) < max(
+        spec06[p] for p in learned
+    ), "learned policies must not transfer their SPEC gains to GAP"
+
+    # Cross-suite: the best learned-policy gain on SPEC06 must exceed the
+    # best gain anything achieves on GAP by a visible margin.
+    assert max(spec06[p] for p in learned) > max(gap.values()) - 0.03

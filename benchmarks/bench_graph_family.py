@@ -1,0 +1,21 @@
+"""E9 — kron vs urand graph families: both of GAP's synthetic inputs
+must show the miss-dominated behaviour of Figure 2."""
+
+from repro.harness.experiments import experiment_graph_family
+
+
+def test_e9_graph_family_sensitivity(benchmark, emit):
+    report = benchmark.pedantic(experiment_graph_family, rounds=1, iterations=1)
+    emit("e9_graph_family", report)
+
+    llc_col = report.headers.index("LLC MPKI")
+    by_family: dict[str, list[float]] = {"kron": [], "urand": []}
+    for row in report.rows:
+        by_family[row[0]].append(row[llc_col])
+
+    assert all(v > 8 for v in by_family["kron"])
+    assert all(v > 8 for v in by_family["urand"])
+    # urand has no hub reuse, so on average it misses at least as much.
+    kron_mean = sum(by_family["kron"]) / len(by_family["kron"])
+    urand_mean = sum(by_family["urand"]) / len(by_family["urand"])
+    assert urand_mean > 0.8 * kron_mean

@@ -1,0 +1,16 @@
+"""E6 — LLC-size sensitivity: does 'policies do not help GAP' survive
+doubling and quadrupling the LLC? (The paper argues the problem is the
+workload, not the particular 1.375 MB capacity.)"""
+
+from repro.harness.experiments import experiment_llc_sensitivity
+
+
+def test_e6_llc_size_sensitivity(benchmark, emit):
+    report = benchmark.pedantic(experiment_llc_sensitivity, rounds=1, iterations=1)
+    emit("e6_llc_sensitivity", report)
+
+    speedup_col = report.headers.index("geomean speedup")
+    for row in report.rows:
+        llc_size, policy, speedup = row[0], row[1], row[speedup_col]
+        # At every LLC size, policy gains on GAP stay small.
+        assert 0.9 < speedup < 1.2, (llc_size, policy, speedup)

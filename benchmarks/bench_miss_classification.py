@@ -1,0 +1,24 @@
+"""E10 — 3C miss classification at the LLC: GAP misses must be
+overwhelmingly compulsory + capacity (replacement cannot fix them)."""
+
+from repro.harness.experiments import experiment_miss_classification
+
+
+def test_e10_miss_classification(benchmark, emit):
+    report = benchmark.pedantic(
+        experiment_miss_classification, rounds=1, iterations=1
+    )
+    emit("e10_miss_classification", report)
+
+    comp_col = report.headers.index("compulsory")
+    cap_col = report.headers.index("capacity")
+    for row in report.rows:
+        suite, workload = row[0], row[1]
+        unfixable = row[comp_col] + row[cap_col]
+        if suite == "gap":
+            assert unfixable > 0.85, (workload, unfixable)
+
+    # Fractions are well-formed everywhere.
+    for row in report.rows:
+        total = row[comp_col] + row[cap_col] + row[report.headers.index("conflict")]
+        assert abs(total - 1.0) < 1e-6 or total == 0.0

@@ -1,0 +1,31 @@
+"""E4 — Belady OPT headroom at the LLC on GAP workloads.
+
+The paper's explanation for Figure 3's flat GAP bars: even the
+clairvoyant optimal policy leaves most GAP misses in place, so no
+implementable policy can do much better than LRU.
+"""
+
+from repro.harness.experiments import experiment_opt_headroom
+
+
+def test_e4_opt_headroom(benchmark, emit):
+    report = benchmark.pedantic(experiment_opt_headroom, rounds=1, iterations=1)
+    emit("e4_opt_headroom", report)
+
+    h = report.headers
+    lru_hit, opt_hit = h.index("LRU hit rate"), h.index("OPT hit rate")
+    lru_mpki, opt_mpki = h.index("LRU MPKI"), h.index("OPT MPKI")
+
+    for row in report.rows:
+        # Optimality: OPT never loses to LRU.
+        assert row[opt_hit] >= row[lru_hit] - 1e-9, row[0]
+        assert row[opt_mpki] <= row[lru_mpki] + 1e-9, row[0]
+        # Headroom is bounded: even OPT leaves GAP heavily miss-dominated.
+        assert row[opt_mpki] > 0.40 * row[lru_mpki], (
+            f"{row[0]}: OPT should not fix the majority of GAP misses"
+        )
+
+    mean_gain = sum(r[lru_mpki] - r[opt_mpki] for r in report.rows) / sum(
+        r[lru_mpki] for r in report.rows
+    )
+    assert mean_gain < 0.45, "average OPT MPKI reduction must stay modest"

@@ -1,0 +1,37 @@
+"""E2 — PC characterization: the 'few PCs x huge footprints' structure
+that defeats PC-correlating replacement on graph workloads."""
+
+import numpy as np
+
+from repro.harness.experiments import experiment_pc_characterization
+
+
+def test_e2_pc_characterization(benchmark, emit):
+    report = benchmark.pedantic(
+        experiment_pc_characterization, rounds=1, iterations=1
+    )
+    emit("e2_pc_characterization", report)
+
+    gap_rows = [r for r in report.rows if r[0] == "gap"]
+    spec_rows = [r for r in report.rows if r[0] == "spec06"]
+    assert gap_rows and spec_rows
+
+    gap_pcs = np.array([r[2] for r in gap_rows], dtype=float)
+    spec_pcs = np.array([r[2] for r in spec_rows], dtype=float)
+    gap_blocks_per_pc = np.array([r[4] for r in gap_rows], dtype=float)
+    gap_share = np.array([r[5] for r in gap_rows], dtype=float)
+    spec_share = np.array([r[5] for r in spec_rows], dtype=float)
+
+    # The paper: GAP kernels execute from a handful of PCs...
+    assert gap_pcs.max() <= 8
+    # ... fewer than typical SPEC-class codes ...
+    assert np.median(spec_pcs) > gap_pcs.max()
+    # ... and every GAP PC covers a huge address range: tens of
+    # thousands of distinct blocks each.
+    assert gap_blocks_per_pc.min() > 5_000
+    # The learnability gap: each GAP PC spans a fifth or more of the
+    # whole footprint (nothing for a PC-indexed table to separate),
+    # while the typical SPEC PC maps to a small, predictable slice.
+    # (Streaming proxies with one PC covering everything exist in SPEC
+    # too — hence the median, not the max.)
+    assert gap_share.min() > 2 * np.median(spec_share)

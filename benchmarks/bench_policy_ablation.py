@@ -1,0 +1,14 @@
+"""E7 — mechanism ablations: each policy's distinguishing mechanism must
+earn its keep on the workload class it was designed for (DESIGN.md's
+ablation index)."""
+
+from repro.harness.experiments import experiment_policy_ablation
+
+
+def test_e7_policy_mechanism_ablations(benchmark, emit):
+    report = benchmark.pedantic(experiment_policy_ablation, rounds=1, iterations=1)
+    emit("e7_policy_ablation", report)
+
+    checks = report.notes["checks"]
+    for name, passed in checks.items():
+        assert passed, f"ablation check failed: {name}"

@@ -1,0 +1,20 @@
+"""E8 — L2 prefetcher sensitivity: the GAP conclusions must not be an
+artifact of simulating without the Cascade Lake stride prefetchers."""
+
+from repro.harness.experiments import experiment_prefetch_sensitivity
+
+
+def test_e8_prefetcher_sensitivity(benchmark, emit):
+    report = benchmark.pedantic(
+        experiment_prefetch_sensitivity, rounds=1, iterations=1
+    )
+    emit("e8_prefetch_sensitivity", report)
+
+    none_col = report.headers.index("none")
+    stride_col = report.headers.index("ip-stride")
+    for row in report.rows:
+        workload = row[0]
+        # Prefetching may cover the sequential OA/NA streams, but the
+        # gather misses keep every kernel miss-dominated at the L2.
+        assert row[stride_col] > 0.4 * row[none_col], (workload, row)
+        assert row[stride_col] > 8, workload

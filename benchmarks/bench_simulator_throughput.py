@@ -1,0 +1,56 @@
+"""Microbenchmarks: simulator throughput per policy.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+simulation hot loop itself, so performance regressions in the cache or
+policy code are caught alongside the figure-level benches.
+"""
+
+import pytest
+
+from repro.core.config import small_test_machine
+from repro.core.simulator import simulate
+from repro.trace import synthetic
+
+POLICIES = ["lru", "srrip", "drrip", "ship", "hawkeye", "glider", "mpppb"]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic.zipf_reuse(30_000, num_blocks=4096, seed=17)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_simulation_throughput(benchmark, workload, policy):
+    result = benchmark.pedantic(
+        simulate,
+        args=(workload,),
+        kwargs={"config": small_test_machine(), "llc_policy": policy},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.instructions > 0
+
+
+def test_trace_generation_throughput(benchmark):
+    from repro.gap import pagerank
+    from repro.graphs import kronecker
+
+    graph = kronecker(12, edge_factor=8, seed=3)
+    run = benchmark.pedantic(
+        pagerank,
+        args=(graph,),
+        kwargs={"num_iterations": 2},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(run.trace) > 0
+
+
+def test_reuse_distance_throughput(benchmark):
+    from repro.analysis.reuse import reuse_distances
+
+    trace = synthetic.zipf_reuse(20_000, num_blocks=2048, seed=18)
+    distances = benchmark.pedantic(
+        reuse_distances, args=(trace.block_addrs(),), rounds=3, iterations=1
+    )
+    assert len(distances) == 20_000

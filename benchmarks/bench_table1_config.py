@@ -1,0 +1,14 @@
+"""Table I — the simulated system configuration (paper Section I-C)."""
+
+from repro.harness.experiments import experiment_table1
+
+
+def test_table1_system_configuration(benchmark, emit):
+    report = benchmark.pedantic(experiment_table1, rounds=1, iterations=1)
+    emit("table1_config", report)
+    rows = dict((r[0], r[1]) for r in report.rows)
+    # The paper's machine: 32 KB L1s, 1 MB L2, 1.375 MB LLC, DDR4.
+    assert "32 KiB" in rows["L1D"]
+    assert "1 MiB" in rows["L2"]
+    assert "1.375 MiB" in rows["LLC"] and "11-way" in rows["LLC"]
+    assert "DDR4" in rows["DRAM"]

@@ -1,0 +1,37 @@
+"""Shared machinery for the per-figure benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper. The
+``emit`` fixture prints the rendered table and also writes it under
+``benchmarks/results/`` so a full ``pytest benchmarks/ --benchmark-only``
+run leaves the complete set of reproduced artifacts on disk — those files
+are the source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", Path(__file__).parent / "results"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print an ExperimentReport and persist it to results/<name>.txt."""
+
+    def _emit(name: str, report) -> None:
+        rendered = report.render()
+        (results_dir / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print()
+            print(rendered)
+
+    return _emit

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Characterize a graph workload's cache behaviour end to end.
+
+Reproduces, on one workload, the paper's full characterization pipeline:
+
+1. build a graph and trace a kernel over it;
+2. trace-level characterization — PC count, per-PC footprint, reuse
+   distances vs cache capacities (the E2/E3 analyses);
+3. hierarchy simulation — MPKI per level, DRAM fraction (Figure 2's
+   view);
+4. LLC-size sensitivity — the same kernel on 1x/2x/4x LLCs.
+
+Run:  python examples/graph_cache_study.py [kernel]   (default: sssp)
+"""
+
+import sys
+
+from repro import cascade_lake, simulate
+from repro.analysis import format_table, pc_profile, reuse_cdf, reuse_profile
+from repro.gap import run_kernel
+from repro.graphs import kronecker
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "sssp"
+    machine = cascade_lake()
+
+    print(f"tracing {kernel} over a scale-16 kron graph ...")
+    graph = kronecker(scale=16, edge_factor=16, seed=23)
+    run = run_kernel(kernel, graph, trace_name=f"{kernel}.kron16",
+                     max_accesses=150_000)
+    trace = run.trace
+
+    # -- E2-style PC characterization ---------------------------------------
+    profile = pc_profile(trace)
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["static PCs", profile.num_pcs],
+            ["PC entropy (bits)", profile.pc_entropy_bits],
+            ["distinct blocks per PC (mean)", profile.mean_blocks_per_pc],
+            ["footprint share per PC", profile.footprint_concentration],
+        ],
+        title=f"PC characterization: {trace.name}",
+    ))
+
+    # -- E3-style reuse-distance analysis ------------------------------------
+    _, distances = reuse_profile(trace)
+    block = 64
+    capacities = {
+        "L1D (32 KiB)": machine.l1d.size_bytes // block,
+        "L2 (1 MiB)": machine.l2.size_bytes // block,
+        "LLC (1.375 MiB)": machine.llc.size_bytes // block,
+        "4x LLC": 4 * machine.llc.size_bytes // block,
+    }
+    cdf = reuse_cdf(distances, list(capacities.values()))
+    print()
+    print(format_table(
+        ["capacity", "LRU hit fraction"],
+        [[name, cdf[blocks]] for name, blocks in capacities.items()],
+        title="Reuse-distance CDF",
+    ))
+
+    # -- Figure-2-style hierarchy simulation ---------------------------------
+    result = simulate(trace, config=machine)
+    print()
+    print(format_table(
+        ["level", "MPKI", "hit rate"],
+        [
+            [lvl, result.mpki(lvl), result.levels[lvl].demand_hit_rate]
+            for lvl in ("L1D", "L2C", "LLC")
+        ],
+        title="Simulated hierarchy (LRU)",
+    ))
+    print(f"\nIPC {result.ipc:.3f}; "
+          f"{result.l1d_miss_dram_fraction:.1%} of L1D misses reach DRAM")
+
+    # -- E6-style LLC scaling --------------------------------------------------
+    rows = []
+    for factor in (1, 2, 4):
+        scaled = simulate(trace, config=machine.with_llc_scale(factor))
+        rows.append([f"{factor}x LLC", scaled.llc_mpki, scaled.ipc])
+    print()
+    print(format_table(["LLC size", "LLC MPKI", "IPC"], rows,
+                       title="LLC-size sensitivity"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""OPT headroom study: how much could a perfect LLC policy help?
+
+Runs Belady's clairvoyant OPT (two-pass oracle) against LRU on a graph
+workload and on a cache-friendly SPEC-class workload. The contrast shows
+*why* the paper's learned policies fail to lift graph processing: even
+the optimal policy barely moves the needle there.
+
+Run:  python examples/opt_headroom.py
+"""
+
+from repro import cascade_lake, simulate_with_opt
+from repro.gap import connected_components
+from repro.graphs import kronecker
+from repro.spec import build_spec_workload
+
+
+def report(name: str, opt, lru) -> None:
+    print(f"\n{name}")
+    print(f"  LLC hit rate:  LRU {lru.levels['LLC'].demand_hit_rate:6.1%}"
+          f"   OPT {opt.levels['LLC'].demand_hit_rate:6.1%}")
+    print(f"  LLC MPKI:      LRU {lru.llc_mpki:6.1f}   OPT {opt.llc_mpki:6.1f}")
+    reduction = 1 - opt.llc_mpki / lru.llc_mpki if lru.llc_mpki else 0.0
+    print(f"  OPT removes {reduction:.1%} of LLC misses; "
+          f"IPC gain {opt.ipc / lru.ipc - 1:+.1%}")
+
+
+def main() -> None:
+    machine = cascade_lake()
+
+    print("tracing connected-components over a scale-16 kron graph ...")
+    graph = kronecker(scale=16, edge_factor=16, seed=11)
+    gap_trace = connected_components(graph, max_accesses=150_000).trace
+    opt, lru = simulate_with_opt(gap_trace, config=machine)
+    report("GAP cc.kron16", opt, lru)
+
+    print("\ntracing a SPEC-class skewed-reuse workload ...")
+    spec_trace = build_spec_workload("spec06", "GemsFDTD", num_accesses=150_000)
+    opt, lru = simulate_with_opt(spec_trace, config=machine)
+    report("spec06.GemsFDTD", opt, lru)
+
+    print(
+        "\nThe asymmetry is the paper's conclusion: graph misses are "
+        "capacity-fundamental, not policy-fixable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Policy shootout: all evaluated policies on one SPEC-like and one
+graph workload, Figure-3 style.
+
+Demonstrates the paper's core contrast on a laptop-scale budget: the
+learned policies (SHiP, Hawkeye, Glider, MPPPB) earn their complexity on
+a PC-predictable SPEC-class workload and lose it on graph processing.
+
+Run:  python examples/policy_shootout.py
+"""
+
+from repro import cascade_lake, run_matrix
+from repro.analysis import format_table
+from repro.gap import bfs
+from repro.graphs import kronecker
+from repro.policies import BASELINE_POLICY, PAPER_POLICIES
+from repro.spec import build_spec_workload
+
+
+def main() -> None:
+    print("building workloads ...")
+    spec_like = build_spec_workload("spec06", "soplex", num_accesses=150_000)
+    graph = kronecker(scale=16, edge_factor=16, seed=7)
+    graph_like = bfs(graph, num_sources=4, max_accesses=150_000).trace
+
+    policies = [BASELINE_POLICY, *PAPER_POLICIES]
+    print(f"simulating {2 * len(policies)} (workload, policy) cells ...")
+    matrix = run_matrix(
+        {"spec06.soplex": spec_like, "gap.bfs": graph_like},
+        policies,
+        config=cascade_lake(),
+        progress=lambda w, p: print(f"  {w:14s} x {p}"),
+    )
+
+    rows = []
+    for workload in matrix.workloads:
+        rows.append(
+            [
+                workload,
+                *[matrix.speedup(workload, p) for p in PAPER_POLICIES],
+            ]
+        )
+    print()
+    print(format_table(["workload", *PAPER_POLICIES], rows,
+                       title="Speed-up over LRU"))
+
+    rows = []
+    for workload in matrix.workloads:
+        rows.append(
+            [workload, *[matrix.get(workload, p).llc_mpki for p in policies]]
+        )
+    print()
+    print(format_table(["workload", *policies], rows, title="LLC MPKI",
+                       float_format="{:.1f}"))
+
+
+if __name__ == "__main__":
+    main()

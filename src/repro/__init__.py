@@ -1,0 +1,86 @@
+"""repro — a trace-driven cache-hierarchy simulator reproducing
+*"Characterizing the impact of last-level cache replacement policies on
+big-data workloads"* (Jamet, Alvarez, Jiménez, Casas — IISWC 2020).
+
+The package models a single-core Cascade Lake machine (split L1s, 1 MB
+L2, 1.375 MB LLC, DDR4-2933), implements the paper's six evaluated LLC
+replacement policies (SRRIP, DRRIP, SHiP, Hawkeye, Glider, MPPPB)
+against the LRU baseline plus a Belady OPT oracle, and generates the
+paper's workloads: the six GAP graph kernels traced over CSR graphs, and
+synthetic proxies for the SPEC CPU 2006/2017 suites.
+
+Quick start::
+
+    from repro import gap, simulate
+
+    traces = gap.gap_suite(scale=14, max_accesses=100_000)
+    result = simulate(traces["pr.kron14"], llc_policy="hawkeye")
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from . import analysis, core, gap, graphs, harness, mem, policies, spec, trace
+from .core.config import MachineConfig, cascade_lake, small_test_machine
+from .core.oracle import simulate_with_opt
+from .core.results import SimulationResult
+from .core.simulator import build_hierarchy, simulate
+from .errors import (
+    ConfigurationError,
+    GraphError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    UnknownPolicyError,
+    WorkloadError,
+)
+from .harness.runner import RunMatrix, run_matrix
+from .policies.registry import (
+    BASELINE_POLICY,
+    PAPER_POLICIES,
+    available_policies,
+    make_policy,
+)
+from .trace.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "analysis",
+    "core",
+    "gap",
+    "graphs",
+    "harness",
+    "mem",
+    "policies",
+    "spec",
+    "trace",
+    # primary entry points
+    "simulate",
+    "simulate_with_opt",
+    "build_hierarchy",
+    "run_matrix",
+    "RunMatrix",
+    "SimulationResult",
+    "MachineConfig",
+    "cascade_lake",
+    "small_test_machine",
+    "Trace",
+    "make_policy",
+    "available_policies",
+    "PAPER_POLICIES",
+    "BASELINE_POLICY",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "TraceError",
+    "PolicyError",
+    "UnknownPolicyError",
+    "GraphError",
+    "WorkloadError",
+    "SimulationError",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common workflows without writing a script:
+
+* ``simulate`` — trace one workload and run it under one policy;
+* ``sweep`` — a (workload x policy) matrix with speed-ups over LRU;
+* ``experiment`` — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.tables import format_table
+from .core.config import cascade_lake
+from .core.simulator import simulate
+from .errors import ReproError
+from .gap.suite import GAP_KERNELS, GapWorkloadSpec, build_graph, run_kernel
+from .harness import experiments as exp
+from .harness.runner import run_matrix
+from .policies.registry import BASELINE_POLICY, PAPER_POLICIES, available_policies
+from .spec.suite import build_spec_workload, spec06_workloads, spec17_workloads
+
+EXPERIMENTS = {
+    "table1": exp.experiment_table1,
+    "fig2": exp.experiment_fig2,
+    "fig3": exp.experiment_fig3,
+    "e1": exp.experiment_llc_mpki,
+    "e2": exp.experiment_pc_characterization,
+    "e3": exp.experiment_reuse_distance,
+    "e4": exp.experiment_opt_headroom,
+    "e5": exp.experiment_dram_traffic,
+    "e6": exp.experiment_llc_sensitivity,
+    "e7": exp.experiment_policy_ablation,
+    "e8": exp.experiment_prefetch_sensitivity,
+    "e9": exp.experiment_graph_family,
+    "e10": exp.experiment_miss_classification,
+    "e11": exp.experiment_hardware_budget,
+}
+
+
+def _build_trace(workload: str, window: int):
+    """Resolve 'gap.<kernel>[.scaleN]' or 'spec06/17.<name>' to a trace."""
+    parts = workload.split(".")
+    if parts[0] == "gap":
+        if len(parts) < 2 or parts[1] not in GAP_KERNELS:
+            raise ReproError(
+                f"gap workload must be gap.<kernel>, kernels: {', '.join(GAP_KERNELS)}"
+            )
+        scale = int(parts[2]) if len(parts) > 2 else 16
+        spec = GapWorkloadSpec(kernel=parts[1], graph_name="kron", scale=scale, degree=16)
+        graph = build_graph(spec)
+        return run_kernel(parts[1], graph, trace_name=spec.name, max_accesses=window).trace
+    if parts[0] in ("spec06", "spec17"):
+        if len(parts) != 2:
+            names = spec06_workloads() if parts[0] == "spec06" else spec17_workloads()
+            raise ReproError(
+                f"{parts[0]} workload must be {parts[0]}.<name>, names: {', '.join(names)}"
+            )
+        return build_spec_workload(parts[0], parts[1], num_accesses=window)
+    raise ReproError(
+        f"unknown workload {workload!r}; use gap.<kernel>[.scale], "
+        "spec06.<name> or spec17.<name>"
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Trace one workload and simulate it under one policy."""
+    trace = _build_trace(args.workload, args.window)
+    result = simulate(trace, config=cascade_lake(), llc_policy=args.policy)
+    print(result.summary())
+    print(format_table(
+        ["level", "demand accesses", "hit rate", "MPKI"],
+        [
+            [lvl, result.levels[lvl].demand_accesses,
+             result.levels[lvl].demand_hit_rate, result.mpki(lvl)]
+            for lvl in ("L1I", "L1D", "L2C", "LLC")
+        ],
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (workload x policy) matrix and print speed-ups over LRU."""
+    traces = {w: _build_trace(w, args.window) for w in args.workloads}
+    policies = [BASELINE_POLICY, *(args.policies or PAPER_POLICIES)]
+    matrix = run_matrix(
+        traces, policies, config=cascade_lake(),
+        progress=lambda w, p: print(f"  running {w} x {p} ...", file=sys.stderr),
+    )
+    rows = [
+        [w, *[matrix.speedup(w, p) for p in policies[1:]]]
+        for w in matrix.workloads
+    ]
+    print(format_table(["workload", *policies[1:]], rows,
+                       title="Speed-up over LRU"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run selected experiments into a single markdown report."""
+    from .harness.report import generate_report
+
+    selected = {
+        name: EXPERIMENTS[name]
+        for name in (args.experiments or sorted(EXPERIMENTS))
+    }
+    path = generate_report(
+        selected,
+        args.output,
+        progress=lambda name: print(f"  running {name} ...", file=sys.stderr),
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Regenerate one paper table/figure (optionally with a chart)."""
+    report = EXPERIMENTS[args.name]()
+    print(report.render())
+    if args.chart:
+        baseline = 1.0 if args.name == "fig3" else None
+        print()
+        print(report.chart(baseline=baseline))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IISWC'20 LLC-replacement-vs-big-data reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="simulate one workload under one policy")
+    p_sim.add_argument("workload", help="gap.<kernel>[.scale] | spec06.<name> | spec17.<name>")
+    p_sim.add_argument("--policy", default="lru", choices=available_policies())
+    p_sim.add_argument("--window", type=int, default=200_000,
+                       help="traced accesses (default 200k)")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_sweep = sub.add_parser("sweep", help="(workload x policy) speed-up matrix")
+    p_sweep.add_argument("workloads", nargs="+")
+    p_sweep.add_argument("--policies", nargs="*", choices=available_policies())
+    p_sweep.add_argument("--window", type=int, default=200_000)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--chart", action="store_true",
+                       help="also draw the result as terminal bars")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_rep = sub.add_parser("report", help="run experiments into one markdown report")
+    p_rep.add_argument("--output", default="report.md")
+    p_rep.add_argument("--experiments", nargs="*", choices=sorted(EXPERIMENTS),
+                       help="subset to run (default: all)")
+    p_rep.set_defaults(func=cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

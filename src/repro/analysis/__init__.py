@@ -1,0 +1,37 @@
+"""Workload characterization and aggregation tools."""
+
+from .charts import grouped_hbar_chart, hbar_chart
+from .misses import MissClassification, classify_misses
+from .mrc import MissRatioCurve, default_capacities, miss_ratio_curve
+from .phases import PhaseReport, WindowProfile, detect_phases, profile_windows
+from .pcstats import PCProfile, compare_pc_profiles, pc_address_cardinality, pc_profile
+from .reuse import COLD, ReuseProfile, reuse_cdf, reuse_distances, reuse_profile
+from .stats import geometric_mean, harmonic_mean, percent_delta
+from .tables import format_table
+
+__all__ = [
+    "COLD",
+    "ReuseProfile",
+    "reuse_cdf",
+    "reuse_distances",
+    "reuse_profile",
+    "PCProfile",
+    "pc_profile",
+    "compare_pc_profiles",
+    "pc_address_cardinality",
+    "geometric_mean",
+    "harmonic_mean",
+    "percent_delta",
+    "format_table",
+    "hbar_chart",
+    "grouped_hbar_chart",
+    "MissClassification",
+    "classify_misses",
+    "MissRatioCurve",
+    "miss_ratio_curve",
+    "default_capacities",
+    "PhaseReport",
+    "WindowProfile",
+    "detect_phases",
+    "profile_windows",
+]

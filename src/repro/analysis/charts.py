@@ -1,0 +1,106 @@
+"""Terminal bar charts for figure-style output.
+
+The paper's artifacts are bar charts (Figure 2's grouped MPKI bars,
+Figure 3's per-suite speed-up bars). These renderers draw them as
+unicode horizontal bars so the benchmark output *reads* like the figure,
+not just like its data table. Pure text — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+FULL = "█"
+PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A left-aligned bar of `value` out of `scale`, `width` cells max."""
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value / scale) * width
+    whole = int(cells)
+    remainder = int((cells - whole) * 8)
+    bar = FULL * whole + (PARTIAL[remainder] if whole < width else "")
+    return bar
+
+
+def hbar_chart(
+    values: Mapping[str, float],
+    title: str | None = None,
+    width: int = 40,
+    value_format: str = "{:.2f}",
+    baseline: float | None = None,
+) -> str:
+    """Render a labelled horizontal bar chart.
+
+    With ``baseline`` set (Figure-3 style speed-ups), bars start at the
+    baseline: values above it grow right of a ``|`` marker, values below
+    shrink left — matching how speed-up figures read.
+    """
+    if not values:
+        raise ValueError("hbar_chart needs at least one value")
+    label_width = max(len(k) for k in values)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    if baseline is None:
+        scale = max(values.values())
+        for label, value in values.items():
+            bar = _bar(value, scale, width)
+            lines.append(
+                f"{label.rjust(label_width)}  {bar.ljust(width)} {value_format.format(value)}"
+            )
+    else:
+        # Symmetric scale around the baseline, at least ±10%.
+        spread = max(
+            max(abs(v - baseline) for v in values.values()), 0.1 * abs(baseline) or 0.1
+        )
+        half = width // 2
+        for label, value in values.items():
+            delta = value - baseline
+            cells = int(round(abs(delta) / spread * half))
+            cells = min(cells, half)
+            if delta >= 0:
+                bar = " " * half + "|" + FULL * cells
+            else:
+                bar = " " * (half - cells) + FULL * cells + "|"
+            lines.append(
+                f"{label.rjust(label_width)}  {bar.ljust(width + 1)} {value_format.format(value)}"
+            )
+    return "\n".join(lines)
+
+
+def grouped_hbar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+    width: int = 40,
+    value_format: str = "{:.1f}",
+) -> str:
+    """Figure-2 style grouped bars: one block of bars per group.
+
+    All groups share one scale so bars are comparable across groups.
+    """
+    if not groups:
+        raise ValueError("grouped_hbar_chart needs at least one group")
+    scale = max(
+        (value for series in groups.values() for value in series.values()),
+        default=0.0,
+    )
+    label_width = max(
+        len(label) for series in groups.values() for label in series
+    )
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for label, value in series.items():
+            bar = _bar(value, scale, width)
+            lines.append(
+                f"  {label.rjust(label_width)}  {bar.ljust(width)} "
+                f"{value_format.format(value)}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Miss-ratio curves (MRCs).
+
+The miss ratio of a fully-associative LRU cache as a function of its
+capacity, computed in one pass from exact reuse distances. MRCs are the
+standard lens for "would a bigger/better cache help": a cliff means a
+working set fits at that capacity; a long flat tail (the GAP signature)
+means added capacity — and by extension smarter retention — buys
+nothing until the footprint itself fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.trace import Trace
+from .reuse import COLD, reuse_distances
+
+
+@dataclass(frozen=True)
+class MissRatioCurve:
+    """An MRC sampled at block-count capacities.
+
+    ``capacities[i]`` blocks -> ``miss_ratios[i]``; cold misses count as
+    misses at every capacity, so ``miss_ratios[-1]`` is the compulsory
+    floor once capacity exceeds the footprint.
+    """
+
+    capacities: tuple[int, ...]
+    miss_ratios: tuple[float, ...]
+    cold_fraction: float
+    footprint_blocks: int
+
+    def miss_ratio_at(self, capacity_blocks: int) -> float:
+        """Miss ratio at an arbitrary capacity (step interpolation)."""
+        idx = np.searchsorted(self.capacities, capacity_blocks, side="right") - 1
+        if idx < 0:
+            return 1.0
+        return self.miss_ratios[int(idx)]
+
+    def knee_capacity(self, threshold: float = 0.5) -> int | None:
+        """Smallest sampled capacity whose miss ratio drops below
+        ``threshold`` x the capacity-1 ratio, or None if none does."""
+        if not self.capacities:
+            return None
+        base = self.miss_ratios[0]
+        for capacity, ratio in zip(self.capacities, self.miss_ratios):
+            if ratio < threshold * base:
+                return capacity
+        return None
+
+
+def default_capacities(max_blocks: int) -> list[int]:
+    """Power-of-two capacity samples up to just past ``max_blocks``."""
+    capacities = [1]
+    while capacities[-1] < max_blocks * 2:
+        capacities.append(capacities[-1] * 2)
+    return capacities
+
+
+def miss_ratio_curve(
+    trace: Trace,
+    capacities: list[int] | None = None,
+    block_bits: int = 6,
+) -> MissRatioCurve:
+    """Compute the MRC of ``trace`` (one reuse-distance pass).
+
+    ``capacities`` defaults to powers of two up to twice the footprint.
+    """
+    blocks = trace.block_addrs(block_bits)
+    distances = reuse_distances(blocks)
+    n = len(distances)
+    footprint = int(np.unique(blocks).size) if n else 0
+    if capacities is None:
+        capacities = default_capacities(max(footprint, 1))
+    capacities = sorted(set(int(c) for c in capacities if c >= 1))
+    if n == 0:
+        return MissRatioCurve(tuple(capacities), tuple(1.0 for _ in capacities), 0.0, 0)
+
+    warm = distances[distances != COLD]
+    cold = n - len(warm)
+    # Histogram of warm distances -> hits(c) = #warm distances < c.
+    sorted_warm = np.sort(warm)
+    ratios = []
+    for capacity in capacities:
+        hits = int(np.searchsorted(sorted_warm, capacity, side="left"))
+        ratios.append(1.0 - hits / n)
+    return MissRatioCurve(
+        capacities=tuple(capacities),
+        miss_ratios=tuple(ratios),
+        cold_fraction=cold / n,
+        footprint_blocks=footprint,
+    )

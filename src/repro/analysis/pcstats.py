@@ -1,0 +1,65 @@
+"""PC-centric workload characterization (experiment E2).
+
+The paper's explanation for why learned policies fail on graph
+processing: GAP kernels execute from a *tiny* set of static PCs, and
+each PC touches an *enormous* set of addresses, so any PC-indexed
+correlation table sees one entry absorbing millions of conflicting
+training examples. These helpers quantify exactly that, per workload,
+for side-by-side tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.stats import compute_trace_stats
+from ..trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class PCProfile:
+    """Per-workload PC characterization row."""
+
+    workload: str
+    num_pcs: int
+    pc_entropy_bits: float
+    mean_blocks_per_pc: float
+    max_blocks_per_pc: int
+    footprint_blocks: int
+
+    @property
+    def footprint_concentration(self) -> float:
+        """Mean per-PC footprint as a fraction of the total footprint.
+
+        Near 1.0 means each PC effectively spans the whole working set
+        (the GAP failure mode); small values mean PCs partition the
+        address space (the SPEC regime learned policies exploit).
+        """
+        if self.footprint_blocks == 0:
+            return 0.0
+        return self.mean_blocks_per_pc / self.footprint_blocks
+
+
+def pc_profile(trace: Trace, block_bits: int = 6) -> PCProfile:
+    """Compute the PC-characterization row for one trace."""
+    stats = compute_trace_stats(trace, block_bits=block_bits)
+    return PCProfile(
+        workload=trace.name,
+        num_pcs=stats.num_pcs,
+        pc_entropy_bits=stats.pc_entropy_bits,
+        mean_blocks_per_pc=stats.mean_blocks_per_pc,
+        max_blocks_per_pc=stats.max_blocks_per_pc,
+        footprint_blocks=stats.footprint_blocks,
+    )
+
+
+def compare_pc_profiles(traces: list[Trace], block_bits: int = 6) -> list[PCProfile]:
+    """PC profiles for several traces, in input order."""
+    return [pc_profile(t, block_bits=block_bits) for t in traces]
+
+
+def pc_address_cardinality(trace: Trace, block_bits: int = 6) -> dict[int, int]:
+    """Distinct blocks touched per PC (raw data behind the E2 table)."""
+    return compute_trace_stats(trace, block_bits=block_bits).blocks_per_pc

@@ -1,0 +1,113 @@
+"""Windowed phase analysis of traces.
+
+Slices a trace into fixed-size access windows and computes per-window
+behaviour metrics (footprint, access mix, PC set, locality proxy). A
+*phase change* is a window whose behaviour vector moves more than a
+threshold from its predecessor's — the events that trip set-duelling
+policies' adaptation (the paper's DRRIP/DIP discussion) and that make
+single-window SimPoint selection risky.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TraceError
+from ..trace.record import AccessKind
+from ..trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class WindowProfile:
+    """Behaviour of one fixed-size access window."""
+
+    index: int
+    start: int
+    footprint_blocks: int
+    store_fraction: float
+    num_pcs: int
+    new_block_fraction: float  # blocks not seen in any earlier window
+
+    def vector(self) -> np.ndarray:
+        """The normalized feature vector distance is computed on."""
+        return np.array(
+            [
+                self.footprint_blocks,
+                self.store_fraction,
+                self.num_pcs,
+                self.new_block_fraction,
+            ],
+            dtype=np.float64,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """All window profiles plus detected phase-change boundaries."""
+
+    window_size: int
+    windows: tuple[WindowProfile, ...]
+    changes: tuple[int, ...]  # indices of windows that start a new phase
+
+    @property
+    def num_phases(self) -> int:
+        """Number of phases (changes + the initial phase)."""
+        return len(self.changes) + 1 if self.windows else 0
+
+
+def profile_windows(trace: Trace, window_size: int, block_bits: int = 6) -> list[WindowProfile]:
+    """Per-window behaviour profiles of ``trace``."""
+    if window_size < 1:
+        raise TraceError(f"window_size must be >= 1, got {window_size}")
+    blocks = trace.block_addrs(block_bits)
+    kinds = trace.kinds
+    pcs = trace.pcs
+    seen: set[int] = set()
+    profiles: list[WindowProfile] = []
+    for index, start in enumerate(range(0, len(trace), window_size)):
+        stop = min(start + window_size, len(trace))
+        window_blocks = blocks[start:stop]
+        unique_blocks = set(window_blocks.tolist())
+        new_blocks = unique_blocks - seen
+        seen |= unique_blocks
+        n = stop - start
+        profiles.append(
+            WindowProfile(
+                index=index,
+                start=start,
+                footprint_blocks=len(unique_blocks),
+                store_fraction=float(
+                    np.count_nonzero(kinds[start:stop] == AccessKind.STORE) / n
+                ),
+                num_pcs=int(np.unique(pcs[start:stop]).size),
+                new_block_fraction=len(new_blocks) / max(len(unique_blocks), 1),
+            )
+        )
+    return profiles
+
+
+def detect_phases(
+    trace: Trace,
+    window_size: int = 10_000,
+    threshold: float = 0.5,
+    block_bits: int = 6,
+) -> PhaseReport:
+    """Window the trace and mark windows whose behaviour shifts.
+
+    The distance between consecutive windows' feature vectors is
+    normalized per-dimension by the running scale; a relative distance
+    above ``threshold`` marks a phase change.
+    """
+    profiles = profile_windows(trace, window_size, block_bits)
+    if len(profiles) < 3:
+        return PhaseReport(window_size, tuple(profiles), ())
+    vectors = np.stack([p.vector() for p in profiles])
+    scale = np.maximum(np.abs(vectors).max(axis=0), 1e-9)
+    normalized = vectors / scale
+    deltas = np.linalg.norm(np.diff(normalized, axis=0), axis=1)
+    # The first window is cold (its new-block fraction is always 1), so
+    # the 0 -> 1 transition is warm-up, not a phase change.
+    changes = tuple(int(i) + 2 for i in np.nonzero(deltas[1:] > threshold)[0])
+    return PhaseReport(window_size, tuple(profiles), changes)

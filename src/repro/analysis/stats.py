@@ -1,0 +1,37 @@
+"""Statistical helpers for experiment aggregation."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's suite aggregate).
+
+    Raises ``ValueError`` on empty input or non-positive entries, because
+    silently returning 0/NaN would corrupt speed-up tables.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geometric mean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values (rate aggregation)."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"harmonic mean requires positive values, got {values}")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def percent_delta(value: float, baseline: float) -> float:
+    """Relative change vs a baseline, in percent."""
+    if baseline == 0:
+        raise ValueError("percent delta needs a non-zero baseline")
+    return 100.0 * (value - baseline) / baseline

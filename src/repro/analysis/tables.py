@@ -1,0 +1,48 @@
+"""Plain-text table rendering for harness and benchmark output.
+
+The benchmarks print the paper's tables and figure series as aligned
+ASCII tables; this renderer keeps that output dependency-free and stable
+enough to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats go through ``float_format``; everything else through ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,30 @@
+"""Simulation core: machine configuration, timing model, driver, oracle."""
+
+from .config import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    cascade_lake,
+    small_test_machine,
+)
+from .cpu import CoreModel, CoreStats
+from .oracle import record_llc_stream, simulate_with_opt
+from .results import LevelStats, SimulationResult, snapshot_result
+from .simulator import build_hierarchy, simulate
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "MachineConfig",
+    "cascade_lake",
+    "small_test_machine",
+    "CoreModel",
+    "CoreStats",
+    "LevelStats",
+    "SimulationResult",
+    "snapshot_result",
+    "build_hierarchy",
+    "simulate",
+    "record_llc_stream",
+    "simulate_with_opt",
+]

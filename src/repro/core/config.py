@@ -1,0 +1,142 @@
+"""Machine configuration.
+
+The default :func:`cascade_lake` configuration reproduces the paper's
+Table I / Section I-C setup: one Cascade Lake core with 32 KB L1I and
+L1D, a 1 MB L2, a 1.375 MB LLC slice, and 8 GB of DDR4-2933.
+
+Configurations are plain frozen dataclasses validated at construction;
+use :func:`dataclasses.replace` to derive variants (the LLC-size
+sensitivity experiment does exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+from ..mem.dram import DRAMConfig
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    num_ways: int
+    hit_latency: int
+    block_bits: int = 6
+
+    def __post_init__(self) -> None:
+        block = 1 << self.block_bits
+        if self.size_bytes <= 0 or self.num_ways <= 0 or self.hit_latency < 0:
+            raise ConfigurationError(f"{self.name}: invalid cache parameters")
+        if self.size_bytes % (block * self.num_ways):
+            raise ConfigurationError(
+                f"{self.name}: {self.size_bytes} B is not sets*ways*{block}"
+            )
+        sets = self.size_bytes // (block * self.num_ways)
+        if sets & (sets - 1):
+            raise ConfigurationError(
+                f"{self.name}: set count {sets} is not a power of two"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets implied by the geometry."""
+        return self.size_bytes // ((1 << self.block_bits) * self.num_ways)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Parameters of the simplified out-of-order core model."""
+
+    frequency_ghz: float = 4.0
+    dispatch_width: int = 4
+    rob_size: int = 224  # Skylake/Cascade Lake reorder buffer
+    max_outstanding_misses: int = 16  # L1D MSHRs
+
+    def __post_init__(self) -> None:
+        if self.dispatch_width < 1 or self.rob_size < 1:
+            raise ConfigurationError("core width and ROB must be >= 1")
+        if self.max_outstanding_misses < 1:
+            raise ConfigurationError("MSHR count must be >= 1")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete simulated machine: core + caches + DRAM."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1I", 32 * KIB, 8, hit_latency=4)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 32 * KIB, 8, hit_latency=4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2C", 1 * MIB, 16, hit_latency=14)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig("LLC", 1408 * KIB, 11, hit_latency=24)
+    )
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    def with_llc_scale(self, factor: int) -> "MachineConfig":
+        """A variant with the LLC scaled by an integer factor (same ways)."""
+        if factor < 1:
+            raise ConfigurationError(f"LLC scale factor must be >= 1, got {factor}")
+        llc = replace(self.llc, size_bytes=self.llc.size_bytes * factor)
+        return replace(self, llc=llc)
+
+    def describe(self) -> list[tuple[str, str]]:
+        """Human-readable (component, description) rows — the paper's Table I."""
+        return [
+            (
+                "Core",
+                f"1 core, {self.core.frequency_ghz:.1f} GHz, "
+                f"{self.core.dispatch_width}-wide, {self.core.rob_size}-entry ROB",
+            ),
+            ("L1I", _cache_row(self.l1i)),
+            ("L1D", _cache_row(self.l1d)),
+            ("L2", _cache_row(self.l2)),
+            ("LLC", _cache_row(self.llc)),
+            (
+                "DRAM",
+                f"DDR4, {self.dram.channels} channel(s), "
+                f"{self.dram.banks_per_channel} banks, "
+                f"{self.dram.row_bytes} B rows",
+            ),
+        ]
+
+
+def _cache_row(cfg: CacheConfig) -> str:
+    size = (
+        f"{cfg.size_bytes // MIB} MiB"
+        if cfg.size_bytes % MIB == 0
+        else f"{cfg.size_bytes / MIB:.3f} MiB"
+        if cfg.size_bytes >= MIB
+        else f"{cfg.size_bytes // KIB} KiB"
+    )
+    return (
+        f"{size}, {cfg.num_ways}-way, {cfg.num_sets} sets, "
+        f"{1 << cfg.block_bits} B blocks, {cfg.hit_latency}-cycle hit"
+    )
+
+
+def cascade_lake() -> MachineConfig:
+    """The paper's simulated machine (Section I-C)."""
+    return MachineConfig()
+
+
+def small_test_machine() -> MachineConfig:
+    """A tiny machine for fast unit tests: 4 KB L1s, 16 KB L2, 32 KB LLC."""
+    return MachineConfig(
+        l1i=CacheConfig("L1I", 4 * KIB, 4, hit_latency=2),
+        l1d=CacheConfig("L1D", 4 * KIB, 4, hit_latency=2),
+        l2=CacheConfig("L2C", 16 * KIB, 8, hit_latency=8),
+        llc=CacheConfig("LLC", 32 * KIB, 8, hit_latency=16),
+    )

@@ -1,0 +1,105 @@
+"""Two-pass harness for Belady's OPT at the LLC.
+
+OPT needs the future. In a non-inclusive hierarchy the stream of accesses
+arriving at the LLC is determined entirely by the levels above it — the
+LLC's own replacement decisions never change *which* blocks the L2
+requests or writes back. That invariant makes an exact offline oracle
+possible:
+
+1. **Record pass** — simulate normally (any LLC policy; LRU is used) with
+   a recording wrapper that logs the block address of every LLC access,
+   in order.
+2. **Replay pass** — recompute next-use indices over the recorded stream
+   and re-simulate with :class:`~repro.policies.belady.BeladyPolicy`,
+   which follows the stream and always evicts the line used farthest in
+   the future.
+
+:class:`~repro.policies.belady.BeladyPolicy` verifies the replay stream
+matches the recording access-by-access, so a violation of the invariant
+(e.g. a future hierarchy change that makes L2 behaviour depend on the
+LLC) fails loudly instead of corrupting results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mem.prefetcher import Prefetcher
+from ..policies.base import PolicyAccess
+from ..policies.basic import LRUPolicy
+from ..policies.belady import BeladyPolicy
+from ..trace.trace import Trace
+from .config import MachineConfig, cascade_lake
+from .results import SimulationResult
+from .simulator import DEFAULT_WARMUP_FRACTION, build_hierarchy, simulate
+
+
+class RecordingLRUPolicy(LRUPolicy):
+    """LRU that also logs the block address of every LLC access."""
+
+    name = "lru+record"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.recorded: list[int] = []
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self.recorded.append(access.block)
+        super().on_hit(set_index, way, access)
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self.recorded.append(access.block)
+        super().on_fill(set_index, way, access)
+
+
+def record_llc_stream(
+    trace: Trace,
+    config: MachineConfig | None = None,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    l2_prefetcher: Prefetcher | None = None,
+) -> tuple[np.ndarray, SimulationResult]:
+    """Run the record pass; returns (LLC block stream, the LRU result).
+
+    The returned result is a normal LRU simulation of ``trace`` and can
+    serve directly as the baseline for OPT-headroom comparisons.
+    """
+    if config is None:
+        config = cascade_lake()
+    recorder = RecordingLRUPolicy()
+    hierarchy = build_hierarchy(config, recorder, l2_prefetcher)
+    result = simulate(
+        trace,
+        config=config,
+        warmup_fraction=warmup_fraction,
+        hierarchy=hierarchy,
+    )
+    stream = np.array(recorder.recorded, dtype=np.uint64)
+    return stream, result
+
+
+def simulate_with_opt(
+    trace: Trace,
+    config: MachineConfig | None = None,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    allow_bypass: bool = True,
+    l2_prefetcher: Prefetcher | None = None,
+) -> tuple[SimulationResult, SimulationResult]:
+    """Simulate ``trace`` under Belady's OPT at the LLC.
+
+    Returns ``(opt_result, lru_result)`` — the oracle run and the LRU
+    baseline produced as a by-product of the record pass.
+    """
+    if config is None:
+        config = cascade_lake()
+    stream, lru_result = record_llc_stream(
+        trace, config, warmup_fraction, l2_prefetcher
+    )
+    oracle = BeladyPolicy(stream, allow_bypass=allow_bypass)
+    hierarchy = build_hierarchy(config, oracle, l2_prefetcher)
+    opt_result = simulate(
+        trace,
+        config=config,
+        warmup_fraction=warmup_fraction,
+        hierarchy=hierarchy,
+    )
+    return opt_result, lru_result

@@ -1,0 +1,160 @@
+"""Simulation result containers.
+
+A :class:`SimulationResult` is a plain-data snapshot of everything one
+(workload, machine, LLC-policy) run produced: per-level cache statistics,
+DRAM behaviour, core timing, and the derived metrics the paper reports
+(MPKI per level, IPC, the L1D-miss-to-DRAM fraction). Results are
+detached from the simulator objects so they can be collected in bulk by
+the harness and compared across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mem.cache import CacheStats
+from ..mem.dram import DRAMStats
+from ..mem.hierarchy import CacheHierarchy, ServiceLevel
+from .cpu import CoreStats
+
+#: The levels Figure 2 reports MPKI for, in presentation order.
+MPKI_LEVELS = ("L1D", "L2C", "LLC")
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Frozen per-level counters extracted from a live cache."""
+
+    name: str
+    demand_accesses: int
+    demand_hits: int
+    writeback_accesses: int
+    prefetch_accesses: int
+    prefetch_hits: int
+    evictions: int
+    dirty_evictions: int
+    bypasses: int
+
+    @property
+    def demand_misses(self) -> int:
+        """Demand accesses that missed this level."""
+        return self.demand_accesses - self.demand_hits
+
+    @property
+    def demand_hit_rate(self) -> float:
+        """Demand hit rate at this level."""
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.demand_hits / self.demand_accesses
+
+    def mpki(self, instructions: int) -> float:
+        """Demand misses per kilo-instruction."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.demand_misses / instructions
+
+    @classmethod
+    def from_cache_stats(cls, name: str, stats: CacheStats) -> "LevelStats":
+        """Snapshot a live :class:`~repro.mem.cache.CacheStats`."""
+        return cls(
+            name=name,
+            demand_accesses=stats.demand_accesses,
+            demand_hits=stats.demand_hits,
+            writeback_accesses=stats.writeback_accesses,
+            prefetch_accesses=stats.prefetch_accesses,
+            prefetch_hits=stats.prefetch_hits,
+            evictions=stats.evictions,
+            dirty_evictions=stats.dirty_evictions,
+            bypasses=stats.bypasses,
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything one simulation run measured."""
+
+    workload: str
+    policy: str
+    instructions: int
+    cycles: float
+    levels: dict[str, LevelStats]
+    served_by: dict[ServiceLevel, int]
+    l1d_misses: int
+    l1d_misses_to_dram: int
+    dram_reads: int
+    dram_writes: int
+    dram_row_hit_rate: float
+    mean_load_latency: float
+    rob_stall_cycles: float = 0.0
+    info: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the measurement window."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def mpki(self, level: str) -> float:
+        """Demand MPKI at a named level ("L1D", "L2C", "LLC", "L1I")."""
+        return self.levels[level].mpki(self.instructions)
+
+    @property
+    def llc_mpki(self) -> float:
+        """Demand MPKI at the last-level cache."""
+        return self.mpki("LLC")
+
+    @property
+    def l1d_miss_dram_fraction(self) -> float:
+        """Fraction of L1D misses that went all the way to DRAM."""
+        if self.l1d_misses == 0:
+            return 0.0
+        return self.l1d_misses_to_dram / self.l1d_misses
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """IPC ratio vs a baseline run of the same workload."""
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"speedup compares runs of the same workload: "
+                f"{self.workload!r} vs {baseline.workload!r}"
+            )
+        return self.ipc / baseline.ipc if baseline.ipc else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        mpkis = ", ".join(
+            f"{lvl}={self.mpki(lvl):.1f}" for lvl in MPKI_LEVELS if lvl in self.levels
+        )
+        return (
+            f"{self.workload} [{self.policy}] IPC={self.ipc:.3f} "
+            f"MPKI({mpkis}) dram_frac={self.l1d_miss_dram_fraction:.1%}"
+        )
+
+
+def snapshot_result(
+    workload: str,
+    policy: str,
+    hierarchy: CacheHierarchy,
+    core_stats: CoreStats,
+    info: dict | None = None,
+) -> SimulationResult:
+    """Freeze the state of a finished simulation into a result object."""
+    levels = {
+        name: LevelStats.from_cache_stats(name, cache.stats)
+        for name, cache in hierarchy.caches.items()
+    }
+    dram_stats: DRAMStats = hierarchy.dram.stats
+    return SimulationResult(
+        workload=workload,
+        policy=policy,
+        instructions=core_stats.instructions,
+        cycles=core_stats.cycles,
+        levels=levels,
+        served_by=dict(hierarchy.stats.served_by),
+        l1d_misses=hierarchy.stats.l1d_misses,
+        l1d_misses_to_dram=hierarchy.stats.l1d_misses_to_dram,
+        dram_reads=dram_stats.reads,
+        dram_writes=dram_stats.writes,
+        dram_row_hit_rate=dram_stats.row_hit_rate,
+        mean_load_latency=core_stats.mean_load_latency,
+        rob_stall_cycles=core_stats.rob_stall_cycles,
+        info=dict(info or {}),
+    )

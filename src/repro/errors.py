@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. More specific subclasses exist for
+the major subsystems; they carry enough context in their message to be
+actionable without inspecting attributes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid simulator, cache, or experiment configuration was given.
+
+    Raised eagerly at construction time (e.g. a cache whose size is not a
+    multiple of ``block_size * ways``), never in the simulation hot loop.
+    """
+
+
+class TraceError(ReproError):
+    """A trace could not be built, read, or validated."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file on disk is malformed or has an unsupported version."""
+
+
+class PolicyError(ReproError):
+    """A replacement policy was misused or misconfigured."""
+
+
+class UnknownPolicyError(PolicyError):
+    """A policy name was not found in the registry.
+
+    The message lists the available policy names so that typos are easy to
+    spot from the error alone.
+    """
+
+
+class GraphError(ReproError):
+    """A graph structure is malformed (e.g. inconsistent CSR arrays)."""
+
+
+class WorkloadError(ReproError):
+    """A workload (GAP kernel or SPEC proxy) was given invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This signals a bug in the library rather than bad user input; seeing it
+    in the wild should be reported together with the trace that caused it.
+    """

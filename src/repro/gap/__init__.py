@@ -1,0 +1,32 @@
+"""The GAP benchmark suite, traced: six kernels over CSR graphs."""
+
+from .bc import betweenness_centrality
+from .bfs import bfs
+from .cc import connected_components
+from .common import KernelRun
+from .memory import GraphMemory, PCTable, interleave_addr_streams, row_edge_indices
+from .pagerank import pagerank
+from .sssp import make_weights, sssp
+from .suite import GAP_KERNELS, GapWorkloadSpec, build_graph, default_specs, gap_suite, run_kernel
+from .tc import triangle_count
+
+__all__ = [
+    "KernelRun",
+    "GraphMemory",
+    "PCTable",
+    "interleave_addr_streams",
+    "row_edge_indices",
+    "bfs",
+    "pagerank",
+    "connected_components",
+    "sssp",
+    "make_weights",
+    "betweenness_centrality",
+    "triangle_count",
+    "GAP_KERNELS",
+    "GapWorkloadSpec",
+    "build_graph",
+    "default_specs",
+    "gap_suite",
+    "run_kernel",
+]

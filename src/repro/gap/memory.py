@@ -1,0 +1,155 @@
+"""Address-space model for traced graph kernels.
+
+The GAP kernels run for real over a :class:`~repro.graphs.csr.CSRGraph`
+and, as they execute, emit the memory accesses the compiled C++ kernels
+would perform. This module provides the mapping from *logical* touches
+("read ``OA[u]``", "gather ``rank[NA[j]]``") to the synthetic virtual
+addresses and program counters the simulator sees:
+
+* Each array — the Offset Array, Neighbours Array, edge weights, and any
+  per-vertex Property Array — lives at its own widely-spaced base
+  address, with 8-byte elements (64-bit indices/doubles, as in GAP).
+* Each *code site* ("bfs.expand", "pr.gather") gets one fixed PC. The
+  result is exactly the PC profile the paper characterizes: a handful of
+  static PCs, each touching an enormous address range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..graphs.csr import CSRGraph
+
+#: Element size for all arrays (64-bit values, as in GAP's C++ kernels).
+ELEMENT_BYTES = 8
+
+#: Spacing between array base addresses — 64 GiB apart, so arrays never
+#: alias regardless of graph size.
+_REGION_STRIDE = 1 << 36
+
+_OA_REGION = 1
+_NA_REGION = 2
+_WEIGHTS_REGION = 3
+_PROPERTY_REGION_START = 8
+
+#: All kernel PCs live in one small code segment, 4 bytes apart.
+_PC_BASE = 0x00401000
+_PC_STRIDE = 4
+
+
+class PCTable:
+    """Allocates one stable PC per named code site.
+
+    Sites are allocated in first-use order, so a kernel's PC layout is
+    deterministic for a fixed code path. ``sites`` exposes the mapping
+    for characterization (E2 counts PCs per kernel through this).
+    """
+
+    def __init__(self) -> None:
+        self._sites: dict[str, int] = {}
+
+    def pc(self, site: str) -> int:
+        """The PC for ``site``, allocating on first use."""
+        existing = self._sites.get(site)
+        if existing is not None:
+            return existing
+        pc = _PC_BASE + len(self._sites) * _PC_STRIDE
+        self._sites[site] = pc
+        return pc
+
+    @property
+    def sites(self) -> dict[str, int]:
+        """Mapping of site name to PC."""
+        return dict(self._sites)
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+
+class GraphMemory:
+    """Maps logical array elements of one graph to virtual addresses."""
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self.graph = graph
+        self._property_regions: dict[str, int] = {}
+
+    # Vectorized address builders: accept scalars or numpy arrays.
+
+    def oa(self, v):
+        """Address(es) of Offset Array entries."""
+        return np.uint64(_OA_REGION * _REGION_STRIDE) + np.asarray(
+            v, dtype=np.uint64
+        ) * np.uint64(ELEMENT_BYTES)
+
+    def na(self, i):
+        """Address(es) of Neighbours Array entries."""
+        return np.uint64(_NA_REGION * _REGION_STRIDE) + np.asarray(
+            i, dtype=np.uint64
+        ) * np.uint64(ELEMENT_BYTES)
+
+    def weight(self, i):
+        """Address(es) of per-edge weight entries (parallel to NA)."""
+        return np.uint64(_WEIGHTS_REGION * _REGION_STRIDE) + np.asarray(
+            i, dtype=np.uint64
+        ) * np.uint64(ELEMENT_BYTES)
+
+    def prop(self, name: str, v):
+        """Address(es) of entries of the named Property Array.
+
+        Property arrays (ranks, parents, distances, components, ...) are
+        allocated a region on first use, in first-use order.
+        """
+        region = self._property_regions.get(name)
+        if region is None:
+            region = _PROPERTY_REGION_START + len(self._property_regions)
+            self._property_regions[name] = region
+        return np.uint64(region * _REGION_STRIDE) + np.asarray(
+            v, dtype=np.uint64
+        ) * np.uint64(ELEMENT_BYTES)
+
+    @property
+    def property_names(self) -> list[str]:
+        """Property arrays allocated so far, in allocation order."""
+        return list(self._property_regions)
+
+
+def interleave_addr_streams(
+    streams: list[tuple[np.ndarray, int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interleave equal-length (addresses, pc) streams element-wise.
+
+    ``[(a, pc_a), (b, pc_b)]`` yields ``a0 b0 a1 b1 ...`` with matching
+    PCs — the shape of a gather loop's "load index, load value" pairing.
+    """
+    if not streams:
+        raise WorkloadError("interleave_addr_streams needs at least one stream")
+    length = len(streams[0][0])
+    for addrs, _ in streams:
+        if len(addrs) != length:
+            raise WorkloadError("all interleaved streams must have equal length")
+    k = len(streams)
+    out_addrs = np.empty(length * k, dtype=np.uint64)
+    out_pcs = np.empty(length * k, dtype=np.uint64)
+    for i, (addrs, pc) in enumerate(streams):
+        out_addrs[i::k] = addrs
+        out_pcs[i::k] = pc
+    return out_addrs, out_pcs
+
+
+def row_edge_indices(graph: CSRGraph, vertices: np.ndarray) -> np.ndarray:
+    """NA indices of all edges of ``vertices``, row by row, in order.
+
+    The standard ragged-range trick: for frontier-style processing this
+    produces exactly the sequence of Neighbours Array slots a top-down
+    step walks.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    starts = graph.offsets[vertices]
+    counts = graph.offsets[vertices + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # offsets into the output where each row begins
+    row_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return np.repeat(starts - row_starts, counts) + np.arange(total, dtype=np.int64)

@@ -1,0 +1,28 @@
+"""Graph substrate: CSR/CSC structures, generators, persistence."""
+
+from .csr import CSRGraph
+from .generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    kronecker,
+    path_graph,
+    star_graph,
+    uniform_random,
+)
+from .loaders import load_csr, load_edge_list, save_csr, save_edge_list
+
+__all__ = [
+    "CSRGraph",
+    "uniform_random",
+    "kronecker",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "load_edge_list",
+    "save_edge_list",
+    "load_csr",
+    "save_csr",
+]

@@ -1,0 +1,77 @@
+"""Graph persistence: edge-list text files and binary CSR archives.
+
+The text format is the plain whitespace edge list GAP and SNAP datasets
+use (``#``-prefixed comment lines allowed); the binary format stores the
+CSR arrays directly in an ``.npz`` for fast reload of generated graphs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+
+def save_edge_list(graph: CSRGraph, path: str | Path) -> Path:
+    """Write the graph as ``src dst`` lines."""
+    path = Path(path)
+    edges = graph.edges()
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(f"# vertices: {graph.num_vertices}\n")
+        for src, dst in edges:
+            f.write(f"{src} {dst}\n")
+    return path
+
+
+def load_edge_list(
+    path: str | Path, num_vertices: int | None = None, symmetrize: bool = False
+) -> CSRGraph:
+    """Read a whitespace edge list; vertex count defaults to max id + 1."""
+    path = Path(path)
+    sources: list[int] = []
+    dests: list[int] = []
+    with open(path, encoding="utf-8") as f:
+        for line_number, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_number}: expected 'src dst'")
+            try:
+                sources.append(int(parts[0]))
+                dests.append(int(parts[1]))
+            except ValueError as exc:
+                raise GraphError(f"{path}:{line_number}: non-integer vertex id") from exc
+    if not sources:
+        return CSRGraph(np.zeros(1 if num_vertices is None else num_vertices + 1,
+                                 dtype=np.int64), np.empty(0, dtype=np.int64))
+    edges = np.column_stack([np.array(sources, dtype=np.int64),
+                             np.array(dests, dtype=np.int64)])
+    if num_vertices is None:
+        num_vertices = int(edges.max()) + 1
+    return CSRGraph.from_edges(num_vertices, edges, symmetrize=symmetrize)
+
+
+def save_csr(graph: CSRGraph, path: str | Path) -> Path:
+    """Write CSR arrays to an ``.npz`` archive."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(path, offsets=graph.offsets, neighbors=graph.neighbors)
+    return path
+
+
+def load_csr(path: str | Path) -> CSRGraph:
+    """Read a graph written by :func:`save_csr`."""
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            if "offsets" not in data or "neighbors" not in data:
+                raise GraphError(f"{path}: not a repro CSR archive")
+            return CSRGraph(data["offsets"], data["neighbors"])
+    except (OSError, ValueError) as exc:
+        raise GraphError(f"{path}: cannot read CSR archive: {exc}") from exc

@@ -1,0 +1,42 @@
+"""Experiment harness: run matrices and per-figure experiment drivers."""
+
+from .experiments import (
+    ExperimentReport,
+    experiment_dram_traffic,
+    experiment_fig2,
+    experiment_fig3,
+    experiment_llc_mpki,
+    experiment_llc_sensitivity,
+    experiment_opt_headroom,
+    experiment_pc_characterization,
+    experiment_reuse_distance,
+    experiment_table1,
+    gap_traces,
+    spec_traces,
+)
+from .multiseed import MetricSummary, ReplicatedRun, replicate, replicated_speedup, summarize
+from .report import generate_report
+from .runner import RunMatrix, run_matrix
+
+__all__ = [
+    "ExperimentReport",
+    "RunMatrix",
+    "run_matrix",
+    "gap_traces",
+    "spec_traces",
+    "experiment_table1",
+    "experiment_fig2",
+    "experiment_fig3",
+    "experiment_llc_mpki",
+    "experiment_pc_characterization",
+    "experiment_reuse_distance",
+    "experiment_opt_headroom",
+    "experiment_dram_traffic",
+    "experiment_llc_sensitivity",
+    "MetricSummary",
+    "ReplicatedRun",
+    "replicate",
+    "replicated_speedup",
+    "summarize",
+    "generate_report",
+]

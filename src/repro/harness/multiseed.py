@@ -1,0 +1,118 @@
+"""Multi-seed experiment replication.
+
+Synthetic graphs and workloads are seeded; a single seed gives one
+deterministic number, but a claim like "policies do not help GAP" should
+survive input resampling. :func:`replicate` reruns a
+workload-builder/simulation pipeline across seeds and reports mean,
+standard deviation and min/max per metric — the error bars the paper's
+figures imply.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.config import MachineConfig, cascade_lake
+from ..core.results import SimulationResult
+from ..core.simulator import simulate
+from ..trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / spread of one metric across seeds."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    samples: tuple[float, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.3f} ± {self.std:.3f} [{self.minimum:.3f}, {self.maximum:.3f}]"
+
+
+def summarize(name: str, samples: Sequence[float]) -> MetricSummary:
+    """Plain mean/σ summary (population σ, as figures usually report)."""
+    if not samples:
+        raise ValueError(f"metric {name!r} has no samples")
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((x - mean) ** 2 for x in samples) / n
+    return MetricSummary(
+        name=name,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(samples),
+        maximum=max(samples),
+        samples=tuple(samples),
+    )
+
+
+@dataclass(frozen=True)
+class ReplicatedRun:
+    """Cross-seed summaries of one (workload-builder, policy) pipeline."""
+
+    policy: str
+    ipc: MetricSummary
+    llc_mpki: MetricSummary
+    llc_hit_rate: MetricSummary
+    results: tuple[SimulationResult, ...]
+
+
+def replicate(
+    build_trace: Callable[[int], Trace],
+    policy: str,
+    seeds: Sequence[int] = (1, 2, 3),
+    config: MachineConfig | None = None,
+    warmup_fraction: float = 0.2,
+) -> ReplicatedRun:
+    """Run ``build_trace(seed)`` -> simulate for every seed and summarize.
+
+    ``build_trace`` regenerates the workload for a seed (typically a new
+    graph instance); the machine and policy stay fixed, so the spread
+    reflects input variation only.
+    """
+    if not seeds:
+        raise ValueError("replicate needs at least one seed")
+    config = config or cascade_lake()
+    results = [
+        simulate(
+            build_trace(seed),
+            config=config,
+            llc_policy=policy,
+            warmup_fraction=warmup_fraction,
+        )
+        for seed in seeds
+    ]
+    return ReplicatedRun(
+        policy=policy,
+        ipc=summarize("ipc", [r.ipc for r in results]),
+        llc_mpki=summarize("llc_mpki", [r.llc_mpki for r in results]),
+        llc_hit_rate=summarize(
+            "llc_hit_rate", [r.levels["LLC"].demand_hit_rate for r in results]
+        ),
+        results=tuple(results),
+    )
+
+
+def replicated_speedup(
+    build_trace: Callable[[int], Trace],
+    policy: str,
+    seeds: Sequence[int] = (1, 2, 3),
+    config: MachineConfig | None = None,
+    baseline: str = "lru",
+) -> MetricSummary:
+    """Per-seed speed-up of ``policy`` over ``baseline`` — paired by seed,
+    so graph-instance variance cancels out of the ratio."""
+    config = config or cascade_lake()
+    ratios: list[float] = []
+    for seed in seeds:
+        trace = build_trace(seed)
+        base = simulate(trace, config=config, llc_policy=baseline)
+        test = simulate(trace, config=config, llc_policy=policy)
+        ratios.append(test.speedup_over(base))
+    return summarize(f"speedup({policy}/{baseline})", ratios)

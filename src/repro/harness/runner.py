@@ -1,0 +1,107 @@
+"""Run matrices: (workload x policy) sweeps with result aggregation.
+
+The benchmarks and examples all funnel through :class:`RunMatrix`: give
+it traces and policy names, it simulates every cell (caching nothing —
+runs are cheap enough and reproducible) and exposes the aggregations the
+paper reports: per-cell IPC/MPKI, per-workload speed-ups over a baseline,
+and per-suite geometric means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..analysis.stats import geometric_mean
+from ..core.config import MachineConfig, cascade_lake
+from ..core.results import SimulationResult
+from ..core.simulator import DEFAULT_WARMUP_FRACTION, simulate
+from ..errors import SimulationError
+from ..policies.registry import BASELINE_POLICY
+from ..trace.trace import Trace
+
+
+@dataclass
+class RunMatrix:
+    """Results of a (workload x policy) sweep.
+
+    ``results[workload][policy]`` holds the simulation result of that
+    cell; workloads and policies keep insertion order for stable output.
+    """
+
+    config: MachineConfig
+    results: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
+
+    @property
+    def workloads(self) -> list[str]:
+        """Workload names in run order."""
+        return list(self.results)
+
+    @property
+    def policies(self) -> list[str]:
+        """Policy names in run order (from the first workload)."""
+        if not self.results:
+            return []
+        return list(next(iter(self.results.values())))
+
+    def get(self, workload: str, policy: str) -> SimulationResult:
+        """The result of one cell; raises with context if missing."""
+        try:
+            return self.results[workload][policy]
+        except KeyError as exc:
+            raise SimulationError(
+                f"no result for workload={workload!r} policy={policy!r}"
+            ) from exc
+
+    def speedup(self, workload: str, policy: str, baseline: str = BASELINE_POLICY) -> float:
+        """IPC of (workload, policy) relative to the baseline policy."""
+        return self.get(workload, policy).speedup_over(self.get(workload, baseline))
+
+    def speedups(self, policy: str, baseline: str = BASELINE_POLICY) -> dict[str, float]:
+        """Per-workload speed-ups of one policy."""
+        return {
+            w: self.speedup(w, policy, baseline) for w in self.workloads
+        }
+
+    def geomean_speedup(self, policy: str, baseline: str = BASELINE_POLICY) -> float:
+        """The paper's suite aggregate: geomean of per-workload speed-ups."""
+        return geometric_mean(self.speedups(policy, baseline).values())
+
+    def mpki_table(self, level: str = "LLC") -> dict[str, dict[str, float]]:
+        """MPKI of every cell at one cache level."""
+        return {
+            w: {p: self.results[w][p].mpki(level) for p in self.results[w]}
+            for w in self.workloads
+        }
+
+
+def run_matrix(
+    traces: dict[str, Trace] | list[Trace],
+    policies: list[str],
+    config: MachineConfig | None = None,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    progress: Callable[[str, str], None] | None = None,
+) -> RunMatrix:
+    """Simulate every (trace, policy) pair.
+
+    ``progress`` (if given) is called with (workload, policy) before each
+    cell — benchmarks use it to narrate long sweeps.
+    """
+    if isinstance(traces, list):
+        traces = {t.name: t for t in traces}
+    if config is None:
+        config = cascade_lake()
+    matrix = RunMatrix(config=config)
+    for name, trace in traces.items():
+        row: dict[str, SimulationResult] = {}
+        for policy in policies:
+            if progress is not None:
+                progress(name, policy)
+            row[policy] = simulate(
+                trace,
+                config=config,
+                llc_policy=policy,
+                warmup_fraction=warmup_fraction,
+            )
+        matrix.results[name] = row
+    return matrix

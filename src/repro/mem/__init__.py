@@ -1,0 +1,21 @@
+"""Memory subsystem: caches, hierarchy, DRAM, prefetchers."""
+
+from .cache import AccessResult, Cache, CacheStats
+from .dram import DRAM, DRAMConfig, DRAMStats
+from .hierarchy import CacheHierarchy, HierarchyStats, ServiceLevel
+from .prefetcher import IPStridePrefetcher, NextLinePrefetcher, Prefetcher
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "DRAM",
+    "DRAMConfig",
+    "DRAMStats",
+    "CacheHierarchy",
+    "HierarchyStats",
+    "ServiceLevel",
+    "Prefetcher",
+    "NextLinePrefetcher",
+    "IPStridePrefetcher",
+]

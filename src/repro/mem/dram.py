@@ -1,0 +1,132 @@
+"""DDR4 main-memory model.
+
+Models the timing behaviour that matters at MPKI/IPC granularity: bank
+parallelism, row-buffer locality, and bank busy time. Addresses map to
+(channel, bank, row) with row-interleaved bank bits so sequential streams
+spread across banks; each bank tracks its open row and the cycle at which
+it next becomes free.
+
+Latencies are expressed in *core* cycles. Defaults model DDR4-2933 under
+a 4 GHz core: tRCD = tRP = tCAS ≈ 13.75 ns ≈ 55 core cycles, plus a burst
+transfer and fixed controller overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Timing and geometry of the memory system (core-cycle units)."""
+
+    channels: int = 1
+    banks_per_channel: int = 16
+    row_bytes: int = 8192
+    t_cas: int = 55  # column access (row-buffer hit portion)
+    t_rcd: int = 55  # row activate
+    t_rp: int = 55  # precharge
+    t_burst: int = 8  # data transfer of one 64 B block
+    controller_overhead: int = 20  # queueing/arbitration floor
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Latency when the row is already open."""
+        return self.controller_overhead + self.t_cas + self.t_burst
+
+    @property
+    def row_closed_latency(self) -> int:
+        """Latency when the bank is idle (row must be activated)."""
+        return self.controller_overhead + self.t_rcd + self.t_cas + self.t_burst
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Latency when another row is open (precharge + activate)."""
+        return (
+            self.controller_overhead + self.t_rp + self.t_rcd + self.t_cas + self.t_burst
+        )
+
+
+@dataclass
+class DRAMStats:
+    """Access counters for the memory system."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    row_closed: int = 0
+    total_read_latency: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total read + write transactions."""
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of transactions that hit an open row."""
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def mean_read_latency(self) -> float:
+        """Average latency observed by reads, in core cycles."""
+        return self.total_read_latency / self.reads if self.reads else 0.0
+
+
+@dataclass
+class _Bank:
+    open_row: int = -1
+    next_free: int = 0
+
+
+class DRAM:
+    """Bank-aware DDR4 timing model.
+
+    :meth:`read` returns the latency, in core cycles, of a demand fill
+    issued at ``cycle``; :meth:`write` models writebacks, which occupy the
+    bank but complete off the critical path (no latency returned).
+    """
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        self.config = config or DRAMConfig()
+        n = self.config.channels * self.config.banks_per_channel
+        self._banks = [_Bank() for _ in range(n)]
+        self.stats = DRAMStats()
+
+    def _locate(self, addr: int) -> tuple[_Bank, int]:
+        """Map a byte address to its bank and row."""
+        cfg = self.config
+        row = addr // cfg.row_bytes
+        bank_index = row % len(self._banks)
+        return self._banks[bank_index], row
+
+    def _service(self, addr: int, cycle: int) -> int:
+        cfg = self.config
+        bank, row = self._locate(addr)
+        start = max(cycle, bank.next_free)
+        queue_wait = start - cycle
+        if bank.open_row == row:
+            self.stats.row_hits += 1
+            service = cfg.row_hit_latency
+        elif bank.open_row == -1:
+            self.stats.row_closed += 1
+            service = cfg.row_closed_latency
+        else:
+            self.stats.row_conflicts += 1
+            service = cfg.row_conflict_latency
+        bank.open_row = row
+        bank.next_free = start + service
+        return queue_wait + service
+
+    def read(self, addr: int, cycle: int) -> int:
+        """A demand read at ``cycle``; returns total latency in cycles."""
+        latency = self._service(addr, cycle)
+        self.stats.reads += 1
+        self.stats.total_read_latency += latency
+        return latency
+
+    def write(self, addr: int, cycle: int) -> None:
+        """A writeback at ``cycle``; occupies the bank, returns nothing."""
+        self._service(addr, cycle)
+        self.stats.writes += 1

@@ -1,0 +1,205 @@
+"""Three-level cache hierarchy with a DRAM backend.
+
+Models the ChampSim/Cascade-Lake organization the paper simulates:
+split 32 KB L1I/L1D, a 1 MB private L2, a 1.375 MB LLC slice, DDR4 main
+memory. By default the hierarchy is non-inclusive ("NINE", as Cascade
+Lake's actually is): levels fill independently, evictions do not
+back-invalidate, and dirty victims are written back to the next level
+(write-allocate on writeback miss, as in ChampSim). An ``inclusive``
+mode is available for sensitivity studies: LLC evictions then
+back-invalidate upper-level copies, flushing dirty data to memory.
+
+The LLC's replacement policy is the experiment variable; L1s and L2 run
+LRU, as in the paper's setup. An optional L2 prefetcher can be attached
+for sensitivity studies (the headline experiments run without one).
+
+:meth:`CacheHierarchy.access` returns the demand latency in core cycles
+and the level that served the access, so the core model can account for
+overlap and the harness can report where accesses were served.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..trace.record import AccessKind
+from .cache import Cache
+from .dram import DRAM
+from .prefetcher import Prefetcher
+
+
+class ServiceLevel(enum.IntEnum):
+    """The hierarchy level that ultimately served a demand access."""
+
+    L1 = 0
+    L2 = 1
+    LLC = 2
+    DRAM = 3
+
+
+@dataclass
+class HierarchyStats:
+    """Cross-level counters the per-cache stats cannot express."""
+
+    #: Demand accesses that missed the L1D *and* were served by DRAM —
+    #: numerator of the paper's 78.6 % statistic.
+    l1d_misses_to_dram: int = 0
+    #: All demand accesses that missed the L1D.
+    l1d_misses: int = 0
+    #: Inclusive mode: LLC evictions that snooped the upper levels.
+    back_invalidations: int = 0
+    #: Demand accesses served per level.
+    served_by: dict[int, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.served_by is None:
+            self.served_by = {level: 0 for level in ServiceLevel}
+
+    @property
+    def l1d_miss_dram_fraction(self) -> float:
+        """Fraction of L1D misses that required a DRAM access."""
+        if self.l1d_misses == 0:
+            return 0.0
+        return self.l1d_misses_to_dram / self.l1d_misses
+
+
+class CacheHierarchy:
+    """L1I + L1D -> L2 -> LLC -> DRAM, with writeback propagation."""
+
+    def __init__(
+        self,
+        l1i: Cache,
+        l1d: Cache,
+        l2: Cache,
+        llc: Cache,
+        dram: DRAM,
+        l2_prefetcher: Prefetcher | None = None,
+        inclusive: bool = False,
+    ) -> None:
+        self.l1i = l1i
+        self.l1d = l1d
+        self.l2 = l2
+        self.llc = llc
+        self.dram = dram
+        self.l2_prefetcher = l2_prefetcher
+        self.inclusive = inclusive
+        self.stats = HierarchyStats()
+        self.block_bits = l1d.block_bits
+
+    @property
+    def caches(self) -> dict[str, Cache]:
+        """The four cache levels keyed by their names."""
+        return {c.name: c for c in (self.l1i, self.l1d, self.l2, self.llc)}
+
+    # -- writeback path ----------------------------------------------------------
+
+    def _writeback_to_l2(self, block: int, cycle: int) -> None:
+        result = self.l2.access(block, 0, AccessKind.WRITEBACK)
+        if result.hit:
+            return
+        fill = self.l2.fill(block, 0, AccessKind.WRITEBACK)
+        if fill.victim_dirty and fill.victim_block is not None:
+            self._writeback_to_llc(fill.victim_block, cycle)
+
+    def _writeback_to_llc(self, block: int, cycle: int) -> None:
+        result = self.llc.access(block, 0, AccessKind.WRITEBACK)
+        if result.hit:
+            return
+        fill = self.llc.fill(block, 0, AccessKind.WRITEBACK)
+        if fill.bypassed or (fill.victim_dirty and fill.victim_block is not None):
+            # A bypassed writeback goes straight to memory; a dirty victim
+            # is written back. Either way DRAM sees one write.
+            victim = block if fill.bypassed else fill.victim_block
+            self.dram.write(victim << self.block_bits, cycle)
+
+    def _fill_l1(self, l1: Cache, block: int, pc: int, kind: int, cycle: int) -> None:
+        fill = l1.fill(block, pc, kind)
+        if fill.victim_dirty and fill.victim_block is not None:
+            self._writeback_to_l2(fill.victim_block, cycle)
+
+    def _fill_l2(self, block: int, pc: int, kind: int, cycle: int) -> None:
+        fill = self.l2.fill(block, pc, kind)
+        if fill.victim_dirty and fill.victim_block is not None:
+            self._writeback_to_llc(fill.victim_block, cycle)
+
+    def _back_invalidate(self, block: int, cycle: int) -> None:
+        """Inclusive mode: an LLC eviction removes upper-level copies.
+
+        A dirty upper-level copy holds the freshest data; its contents go
+        straight to memory, as a real inclusive hierarchy's back-snoop
+        would force.
+        """
+        dirty = False
+        for cache in (self.l1i, self.l1d, self.l2):
+            set_index = cache.set_index(block)
+            way = cache.lookup(block)
+            if way >= 0:
+                dirty = dirty or cache._dirty[set_index][way]
+                cache.invalidate(block)
+        if dirty:
+            self.dram.write(block << self.block_bits, cycle)
+        self.stats.back_invalidations += 1
+
+    def _fill_llc(self, block: int, pc: int, kind: int, cycle: int) -> None:
+        fill = self.llc.fill(block, pc, kind)
+        if self.inclusive and fill.victim_block is not None:
+            self._back_invalidate(fill.victim_block, cycle)
+        if fill.victim_dirty and fill.victim_block is not None:
+            self.dram.write(fill.victim_block << self.block_bits, cycle)
+
+    # -- prefetching -------------------------------------------------------------
+
+    def _run_l2_prefetcher(self, block: int, pc: int, hit: bool, cycle: int) -> None:
+        assert self.l2_prefetcher is not None
+        for pf_block in self.l2_prefetcher.observe(block, pc, hit):
+            if self.l2.lookup(pf_block) >= 0:
+                continue
+            probe = self.llc.access(pf_block, pc, AccessKind.PREFETCH)
+            if not probe.hit:
+                self.dram.read(pf_block << self.block_bits, cycle)
+                self._fill_llc(pf_block, pc, AccessKind.PREFETCH, cycle)
+            self.l2.stats.prefetch_accesses += 1
+            self._fill_l2(pf_block, pc, AccessKind.PREFETCH, cycle)
+
+    # -- the demand path -----------------------------------------------------------
+
+    def access(self, addr: int, pc: int, kind: int, cycle: int) -> tuple[int, ServiceLevel]:
+        """One demand access; returns (latency in cycles, serving level)."""
+        block = addr >> self.block_bits
+        l1 = self.l1i if kind == AccessKind.IFETCH else self.l1d
+        is_data = l1 is self.l1d
+
+        if l1.access(block, pc, kind).hit:
+            self.stats.served_by[ServiceLevel.L1] += 1
+            return l1.hit_latency, ServiceLevel.L1
+        if is_data:
+            self.stats.l1d_misses += 1
+
+        latency = l1.hit_latency
+        l2_result = self.l2.access(block, pc, kind)
+        if self.l2_prefetcher is not None:
+            self._run_l2_prefetcher(block, pc, l2_result.hit, cycle)
+        if l2_result.hit:
+            latency += self.l2.hit_latency
+            self._fill_l1(l1, block, pc, kind, cycle)
+            self.stats.served_by[ServiceLevel.L2] += 1
+            return latency, ServiceLevel.L2
+
+        latency += self.l2.hit_latency
+        if self.llc.access(block, pc, kind).hit:
+            latency += self.llc.hit_latency
+            self._fill_l2(block, pc, kind, cycle)
+            self._fill_l1(l1, block, pc, kind, cycle)
+            self.stats.served_by[ServiceLevel.LLC] += 1
+            return latency, ServiceLevel.LLC
+
+        latency += self.llc.hit_latency
+        latency += self.dram.read(block << self.block_bits, cycle + latency)
+        if is_data:
+            self.stats.l1d_misses_to_dram += 1
+        self._fill_llc(block, pc, kind, cycle)
+        self._fill_l2(block, pc, kind, cycle)
+        self._fill_l1(l1, block, pc, kind, cycle)
+        self.stats.served_by[ServiceLevel.DRAM] += 1
+        return latency, ServiceLevel.DRAM

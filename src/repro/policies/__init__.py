@@ -1,0 +1,57 @@
+"""LLC replacement policies evaluated by the paper, plus references.
+
+The six policies of Figure 3 — SRRIP, DRRIP, SHiP, Hawkeye, Glider,
+MPPPB — against the LRU baseline, together with classic reference
+policies (FIFO, Random, NRU, Tree-PLRU, MRU) and the offline Belady OPT
+oracle used for headroom analysis.
+"""
+
+from .base import BYPASS, PolicyAccess, ReplacementPolicy
+from .basic import FIFOPolicy, LRUPolicy, MRUPolicy, NRUPolicy, RandomPolicy, TreePLRUPolicy
+from .belady import NEVER, BeladyPolicy, compute_next_use
+from .dip import BIPPolicy, DIPPolicy, LIPPolicy
+from .glider import GliderPolicy
+from .hawkeye import HawkeyePolicy
+from .mpppb import MPPPBPolicy
+from .optgen import OptGen, SetSampler
+from .registry import (
+    BASELINE_POLICY,
+    PAPER_POLICIES,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from .rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from .ship import SHiPPolicy
+
+__all__ = [
+    "BYPASS",
+    "NEVER",
+    "BASELINE_POLICY",
+    "PAPER_POLICIES",
+    "PolicyAccess",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "NRUPolicy",
+    "TreePLRUPolicy",
+    "LIPPolicy",
+    "BIPPolicy",
+    "DIPPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "SHiPPolicy",
+    "HawkeyePolicy",
+    "GliderPolicy",
+    "MPPPBPolicy",
+    "BeladyPolicy",
+    "OptGen",
+    "SetSampler",
+    "compute_next_use",
+    "available_policies",
+    "make_policy",
+    "register_policy",
+]

@@ -1,0 +1,196 @@
+"""Classic replacement policies: LRU, FIFO, Random, NRU, Tree-PLRU, MRU.
+
+LRU is the paper's baseline — every speed-up in Figure 3 is measured
+against it. The others serve as reference points and as substrates for
+tests (Random gives a policy-insensitive floor, PLRU approximates LRU the
+way real hardware does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PolicyAccess, ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used replacement.
+
+    Implemented with monotonic timestamps: each hit or fill stamps the
+    line with a global counter, and the victim is the way with the oldest
+    stamp. Exact LRU (not an approximation), matching ChampSim's ``lru``.
+    """
+
+    name = "lru"
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._stamp = [[0] * num_ways for _ in range(num_sets)]
+        self._clock = 0
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        stamps = self._stamp[set_index]
+        victim = 0
+        oldest = stamps[0]
+        for way in range(1, self.num_ways):
+            if stamps[way] < oldest:
+                oldest = stamps[way]
+                victim = way
+        return victim
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_index][way] = self._clock
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._touch(set_index, way)
+
+
+class MRUPolicy(LRUPolicy):
+    """Most-recently-used eviction — an intentionally bad policy.
+
+    Useful as an adversarial reference in tests: on a cyclic working set
+    slightly larger than the cache, MRU beats LRU, demonstrating that the
+    harness really exercises the policy hook.
+    """
+
+    name = "mru"
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        stamps = self._stamp[set_index]
+        victim = 0
+        newest = stamps[0]
+        for way in range(1, self.num_ways):
+            if stamps[way] > newest:
+                newest = stamps[way]
+                victim = way
+        return victim
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: victim is the oldest *fill*, hits do not refresh."""
+
+    name = "fifo"
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._stamp = [[0] * num_ways for _ in range(num_sets)]
+        self._clock = 0
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        stamps = self._stamp[set_index]
+        victim = 0
+        oldest = stamps[0]
+        for way in range(1, self.num_ways):
+            if stamps[way] < oldest:
+                oldest = stamps[way]
+                victim = way
+        return victim
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        pass  # FIFO ignores hits by definition
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._clock += 1
+        self._stamp[set_index][way] = self._clock
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim selection (seeded, reproducible)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0xCACE) -> None:
+        super().__init__()
+        self._seed = seed
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._rng = np.random.default_rng(self._seed)
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        return int(self._rng.integers(0, self.num_ways))
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        pass
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        pass
+
+
+class NRUPolicy(ReplacementPolicy):
+    """Not-recently-used: one reference bit per line.
+
+    Hits and fills set the bit; the victim is the lowest-index way with a
+    clear bit. When every bit in the set is set, all are cleared first —
+    the classic second-chance scheme used by several real L1 designs.
+    """
+
+    name = "nru"
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._ref = [[0] * num_ways for _ in range(num_sets)]
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        bits = self._ref[set_index]
+        for way in range(self.num_ways):
+            if not bits[way]:
+                return way
+        for way in range(self.num_ways):
+            bits[way] = 0
+        return 0
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._ref[set_index][way] = 1
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._ref[set_index][way] = 1
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU, the LRU approximation used in real L1/L2s.
+
+    Maintains ``ways - 1`` tree bits per set arranged as an implicit
+    binary tree; each access flips the path bits away from the touched
+    way, and the victim is found by following the bits. Requires a
+    power-of-two way count; non-power-of-two caches should use
+    :class:`LRUPolicy`.
+    """
+
+    name = "plru"
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        if num_ways & (num_ways - 1):
+            raise ValueError(
+                f"Tree-PLRU requires a power-of-two way count, got {num_ways}"
+            )
+        self._bits = [[0] * max(1, num_ways - 1) for _ in range(num_sets)]
+        self._levels = num_ways.bit_length() - 1
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        bits = self._bits[set_index]
+        node = 0
+        for _ in range(self._levels):
+            node = 2 * node + 1 + bits[node]
+        return node - (self.num_ways - 1)
+
+    def _touch(self, set_index: int, way: int) -> None:
+        bits = self._bits[set_index]
+        node = way + (self.num_ways - 1)
+        while node:
+            parent = (node - 1) // 2
+            went_right = node == 2 * parent + 2
+            # Point the bit away from the path we just took.
+            bits[parent] = 0 if went_right else 1
+            node = parent
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._touch(set_index, way)

@@ -1,0 +1,118 @@
+"""Belady's OPT — the offline optimal replacement oracle.
+
+OPT evicts the line whose next use lies farthest in the future. It is not
+implementable in hardware but gives the headroom bound the paper's E4
+experiment reports: if even OPT barely beats LRU on a workload, no
+replacement policy can help.
+
+Because OPT needs the future, it runs in a two-pass harness
+(:func:`repro.core.oracle.simulate_with_opt`): pass 1 records the exact
+access stream reaching the LLC (which is independent of the LLC's own
+policy in a non-inclusive hierarchy), pass 2 replays the simulation with
+this policy armed with the precomputed next-use indices.
+
+The policy checks, on every event, that the stream it sees matches the
+recorded one — a mismatch means the harness invariant broke, and raises
+:class:`~repro.errors.SimulationError` instead of silently mis-seeking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .base import BYPASS, PolicyAccess, ReplacementPolicy
+
+#: Next-use index meaning "never used again".
+NEVER = np.iinfo(np.int64).max
+
+
+def compute_next_use(blocks: np.ndarray) -> np.ndarray:
+    """For each position i, the next index j > i with ``blocks[j] == blocks[i]``.
+
+    Positions with no later use get :data:`NEVER`. O(n) via a last-seen map
+    walked backwards.
+    """
+    n = len(blocks)
+    next_use = np.full(n, NEVER, dtype=np.int64)
+    last_seen: dict[int, int] = {}
+    for i in range(n - 1, -1, -1):
+        block = int(blocks[i])
+        nxt = last_seen.get(block)
+        if nxt is not None:
+            next_use[i] = nxt
+        last_seen[block] = i
+    return next_use
+
+
+class BeladyPolicy(ReplacementPolicy):
+    """Offline OPT over a pre-recorded LLC access stream.
+
+    Parameters
+    ----------
+    blocks:
+        The block-address stream the LLC will observe, in order.
+    allow_bypass:
+        If True (default), an incoming block whose next use is farther
+        than every resident line's is not cached at all — true Belady MIN
+        for a non-inclusive cache. With False, OPT is restricted to
+        replacement decisions only.
+    """
+
+    name = "opt"
+    supports_bypass = True
+
+    def __init__(self, blocks: np.ndarray, allow_bypass: bool = True) -> None:
+        super().__init__()
+        self._blocks = np.asarray(blocks, dtype=np.uint64)
+        self._next_use = compute_next_use(self._blocks)
+        self._allow_bypass = allow_bypass
+        self._idx = 0
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._line_next = [[NEVER] * num_ways for _ in range(num_sets)]
+        self._idx = 0
+
+    def _check_stream(self, access: PolicyAccess) -> None:
+        if self._idx >= len(self._blocks):
+            raise SimulationError(
+                "OPT oracle exhausted its recorded stream: the replay saw "
+                f"more than {len(self._blocks)} LLC accesses"
+            )
+        expected = int(self._blocks[self._idx])
+        if expected != access.block:
+            raise SimulationError(
+                f"OPT oracle stream mismatch at access {self._idx}: "
+                f"recorded block {expected:#x}, replay saw {access.block:#x}"
+            )
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        self._check_stream(access)
+        incoming_next = int(self._next_use[self._idx])
+        line_next = self._line_next[set_index]
+        victim = 0
+        farthest = line_next[0]
+        for way in range(1, self.num_ways):
+            if line_next[way] > farthest:
+                farthest = line_next[way]
+                victim = way
+        if self._allow_bypass and incoming_next > farthest and not access.is_writeback:
+            self._idx += 1  # this access consumes its stream slot here
+            return BYPASS
+        return victim
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._check_stream(access)
+        self._line_next[set_index][way] = int(self._next_use[self._idx])
+        self._idx += 1
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._check_stream(access)
+        self._line_next[set_index][way] = int(self._next_use[self._idx])
+        self._idx += 1
+
+    @property
+    def position(self) -> int:
+        """How many LLC accesses the oracle has consumed."""
+        return self._idx

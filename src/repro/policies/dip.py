@@ -1,0 +1,139 @@
+"""Insertion-policy family: LIP, BIP and DIP (Qureshi et al., ISCA 2007).
+
+The direct ancestors of the RRIP family, included as reference baselines:
+
+* **LIP** — LRU Insertion Policy: new blocks insert at the *LRU*
+  position instead of MRU, so a non-reused block is the next victim.
+* **BIP** — Bimodal Insertion Policy: LIP, but once every
+  ``BIP_EPSILON_PERIOD`` fills the block inserts at MRU, letting a slow
+  trickle of a thrashing working set become resident.
+* **DIP** — Dynamic Insertion Policy: set-duelling between classic LRU
+  insertion and BIP with a saturating PSEL counter, exactly the
+  mechanism DRRIP later applied to RRPVs.
+
+All three preserve LRU's *promotion* (hits move to MRU) and differ only
+in insertion, which is the historically important observation: insertion
+position, not eviction choice, is where thrash-resistance comes from.
+"""
+
+from __future__ import annotations
+
+from .base import PolicyAccess, ReplacementPolicy
+
+#: BIP inserts at MRU once every this many fills.
+BIP_EPSILON_PERIOD = 32
+
+
+class LIPPolicy(ReplacementPolicy):
+    """LRU Insertion Policy: insert at LRU, promote to MRU on hit."""
+
+    name = "lip"
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._stamp = [[0] * num_ways for _ in range(num_sets)]
+        self._clock = 0
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        stamps = self._stamp[set_index]
+        victim = 0
+        oldest = stamps[0]
+        for way in range(1, self.num_ways):
+            if stamps[way] < oldest:
+                oldest = stamps[way]
+                victim = way
+        return victim
+
+    def _mru_stamp(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _lru_stamp(self, set_index: int) -> int:
+        # One tick older than the current LRU line, i.e. next victim.
+        return min(self._stamp[set_index]) - 1
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._stamp[set_index][way] = self._mru_stamp()
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._stamp[set_index][way] = self._insertion_stamp(set_index, access)
+
+    def _insertion_stamp(self, set_index: int, access: PolicyAccess) -> int:
+        return self._lru_stamp(set_index)
+
+
+class BIPPolicy(LIPPolicy):
+    """Bimodal Insertion Policy: LIP with an epsilon of MRU insertions."""
+
+    name = "bip"
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._fill_count = 0
+
+    def _insertion_stamp(self, set_index: int, access: PolicyAccess) -> int:
+        self._fill_count += 1
+        if self._fill_count % BIP_EPSILON_PERIOD == 0:
+            return self._mru_stamp()
+        return self._lru_stamp(set_index)
+
+
+class DIPPolicy(BIPPolicy):
+    """Dynamic Insertion Policy: set-duelling between LRU and BIP.
+
+    Leader selection reuses DRRIP's complement-select scheme (via the
+    same modulo fallback for small caches); misses in LRU leader sets
+    increment PSEL, misses in BIP leaders decrement it, and followers
+    insert like whichever component's leaders miss less.
+    """
+
+    name = "dip"
+
+    PSEL_BITS = 10
+    NUM_LEADER_BITS = 5
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._psel_max = (1 << self.PSEL_BITS) - 1
+        self._psel = self._psel_max // 2
+        self._leader = [self._classify_set(s, num_sets) for s in range(num_sets)]
+
+    def _classify_set(self, set_index: int, num_sets: int) -> int:
+        index_bits = max(1, (num_sets - 1).bit_length())
+        k = self.NUM_LEADER_BITS
+        if index_bits < 2 * k:
+            if set_index % 32 == 0:
+                return 1  # LRU leader
+            if set_index % 32 == 1:
+                return -1  # BIP leader
+            return 0
+        low = set_index & ((1 << k) - 1)
+        high = (set_index >> k) & ((1 << k) - 1)
+        if low == high:
+            return 1
+        if low == (~high & ((1 << k) - 1)):
+            return -1
+        return 0
+
+    def record_demand_miss(self, set_index: int) -> None:
+        """PSEL update on a demand miss in a leader set."""
+        role = self._leader[set_index]
+        if role > 0 and self._psel < self._psel_max:
+            self._psel += 1
+        elif role < 0 and self._psel > 0:
+            self._psel -= 1
+
+    def _insertion_stamp(self, set_index: int, access: PolicyAccess) -> int:
+        role = self._leader[set_index]
+        if role > 0:
+            return self._mru_stamp()  # LRU-insertion leader
+        if role < 0:
+            return super()._insertion_stamp(set_index, access)  # BIP leader
+        if self._psel < (self._psel_max + 1) // 2:
+            return self._mru_stamp()
+        return super()._insertion_stamp(set_index, access)
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        if not access.is_writeback and not access.is_prefetch:
+            self.record_demand_miss(set_index)
+        super().on_fill(set_index, way, access)

@@ -1,0 +1,163 @@
+"""Glider replacement (Shi, Huang, Jain & Lin, MICRO 2019) — practical ISVM.
+
+Glider's offline study trains an attention-based LSTM and distills the
+insight that *the unordered set of recent PCs* predicts reuse better than
+the single triggering PC. Its practical hardware design — implemented
+here — replaces Hawkeye's counter table with a table of Integer Support
+Vector Machines (ISVMs): one ISVM per (hashed) triggering PC, each with 16
+small integer weights indexed by hashes of the PCs in a 5-entry PC History
+Register (PCHR). Predictions sum the weights of the current history;
+training uses the same OPTgen verdicts as Hawkeye, with a fixed margin
+(updates stop once the sum exceeds the training threshold).
+
+Structure sizes follow the paper's hardware budget: 2048 ISVMs of 16
+weights, 5-PC history, thresholds 0 (averse/friendly) and 60 (high
+confidence), training margin 100.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .base import PolicyAccess, ReplacementPolicy
+from .hawkeye import HAWKEYE_RRPV_MAX
+from .optgen import SetSampler
+
+ISVM_TABLE_BITS = 11
+ISVM_TABLE_SIZE = 1 << ISVM_TABLE_BITS
+ISVM_WEIGHTS = 16
+PCHR_LENGTH = 5
+WEIGHT_MIN, WEIGHT_MAX = -31, 31
+
+#: Prediction sum below this is cache-averse.
+THRESHOLD_AVERSE = 0
+#: Prediction sum at or above this is high-confidence friendly.
+THRESHOLD_CONFIDENT = 60
+#: Training stops (margin reached) once the sum passes this.
+TRAINING_MARGIN = 100
+
+
+def isvm_index(pc: int) -> int:
+    """Select the ISVM for the triggering PC."""
+    return (pc ^ (pc >> ISVM_TABLE_BITS) ^ (pc >> (2 * ISVM_TABLE_BITS))) & (
+        ISVM_TABLE_SIZE - 1
+    )
+
+
+def weight_index(history_pc: int) -> int:
+    """Hash a history PC into one of the 16 ISVM weight slots."""
+    return (history_pc ^ (history_pc >> 4) ^ (history_pc >> 8)) & (ISVM_WEIGHTS - 1)
+
+
+class GliderPolicy(ReplacementPolicy):
+    """ISVM-over-PC-history reuse prediction trained by OPTgen."""
+
+    name = "glider"
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._rrpv = [[HAWKEYE_RRPV_MAX] * num_ways for _ in range(num_sets)]
+        self._line_friendly = [[False] * num_ways for _ in range(num_sets)]
+        self._line_features = [
+            [((0, ()))] * num_ways for _ in range(num_sets)
+        ]  # (isvm index, weight indices) of the last touch
+        self._isvms = [[0] * ISVM_WEIGHTS for _ in range(ISVM_TABLE_SIZE)]
+        self._pchr: deque[int] = deque(maxlen=PCHR_LENGTH)
+        self._sampler = SetSampler(num_sets, num_ways)
+        self.stat_friendly_fills = 0
+        self.stat_averse_fills = 0
+
+    # -- features & prediction -----------------------------------------------
+
+    def _features(self, pc: int) -> tuple[int, tuple[int, ...]]:
+        """The (ISVM, weight-slot) feature tuple for the current history."""
+        slots = tuple(sorted({weight_index(h) for h in self._pchr}))
+        return isvm_index(pc), slots
+
+    def _sum(self, features: tuple[int, tuple[int, ...]]) -> int:
+        table, slots = features
+        weights = self._isvms[table]
+        return sum(weights[s] for s in slots)
+
+    def _train(self, features: tuple[int, tuple[int, ...]], opt_hit: bool) -> None:
+        table, slots = features
+        weights = self._isvms[table]
+        total = sum(weights[s] for s in slots)
+        if opt_hit:
+            if total < TRAINING_MARGIN:  # margin: stop once confidently positive
+                for s in slots:
+                    if weights[s] < WEIGHT_MAX:
+                        weights[s] += 1
+        else:
+            if total > -TRAINING_MARGIN:
+                for s in slots:
+                    if weights[s] > WEIGHT_MIN:
+                        weights[s] -= 1
+
+    # -- sampling ---------------------------------------------------------------
+
+    def _sample(self, set_index: int, access: PolicyAccess, features) -> None:
+        decided, previous, evicted = self._sampler.observe(
+            set_index, access.block, access.pc, context=features
+        )
+        if decided and previous is not None and previous.context is not None:
+            self._train(previous.context, previous.opt_hit)  # type: ignore[attr-defined]
+        if evicted is not None and evicted.context is not None:
+            self._train(evicted.context, opt_hit=False)
+
+    # -- replacement hooks --------------------------------------------------------
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        rrpv = self._rrpv[set_index]
+        for way in range(self.num_ways):
+            if rrpv[way] == HAWKEYE_RRPV_MAX:
+                return way
+        victim = 0
+        max_rrpv = rrpv[0]
+        for way in range(1, self.num_ways):
+            if rrpv[way] > max_rrpv:
+                max_rrpv = rrpv[way]
+                victim = way
+        if self._line_friendly[set_index][victim]:
+            # Evicting a line we promised to keep: detrain its features.
+            self._train(self._line_features[set_index][victim], opt_hit=False)
+        return victim
+
+    def _touch(self, set_index: int, way: int, access: PolicyAccess, is_fill: bool) -> None:
+        if access.is_writeback:
+            self._line_friendly[set_index][way] = False
+            self._line_features[set_index][way] = (0, ())
+            self._rrpv[set_index][way] = HAWKEYE_RRPV_MAX
+            return
+        features = self._features(access.pc)
+        self._sample(set_index, access, features)
+        total = self._sum(features)
+        self._pchr.append(access.pc)
+        self._line_features[set_index][way] = features
+        if total < THRESHOLD_AVERSE:
+            self._line_friendly[set_index][way] = False
+            self._rrpv[set_index][way] = HAWKEYE_RRPV_MAX
+            if is_fill:
+                self.stat_averse_fills += 1
+            return
+        self._line_friendly[set_index][way] = True
+        if is_fill:
+            self.stat_friendly_fills += 1
+            rrpv = self._rrpv[set_index]
+            for w in range(self.num_ways):
+                if w != way and rrpv[w] < HAWKEYE_RRPV_MAX - 1:
+                    rrpv[w] += 1
+        # High-confidence friendly lines are pinned at 0; low-confidence
+        # ones start slightly aged so they yield to confident lines.
+        self._rrpv[set_index][way] = 0 if total >= THRESHOLD_CONFIDENT else 2
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._touch(set_index, way, access, is_fill=False)
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._touch(set_index, way, access, is_fill=True)
+
+    @property
+    def optgen_hit_rate(self) -> float:
+        """OPT hit rate reconstructed on the sampled sets."""
+        return self._sampler.aggregate_opt_hit_rate()

@@ -1,0 +1,142 @@
+"""Hawkeye replacement (Jain & Lin, ISCA 2016).
+
+Hawkeye learns from what Belady's OPT *would have done*: an online OPTgen
+reconstruction over 64 sampled sets produces hit/miss verdicts for past
+usage intervals, and those verdicts train a PC-indexed table of 3-bit
+saturating counters. Loads whose PC the predictor deems "cache-friendly"
+insert at RRPV 0 and are kept; "cache-averse" loads insert at RRPV 7 and
+are evicted first. When no averse line exists the oldest friendly line is
+evicted and its PC is detrained, bounding mispredictions.
+
+This is a port of the CRC2 reference implementation with the same
+structure sizes: 3-bit RRPVs, 8K-entry predictor with 3-bit counters,
+64 sampled sets, 128-quanta OPTgen vectors.
+"""
+
+from __future__ import annotations
+
+from .base import PolicyAccess, ReplacementPolicy
+from .optgen import SetSampler
+
+#: Hawkeye uses 3-bit RRPVs (unlike the RRIP family's 2-bit).
+HAWKEYE_RRPV_MAX = 7
+
+PREDICTOR_BITS = 13
+PREDICTOR_SIZE = 1 << PREDICTOR_BITS
+COUNTER_MAX = 7  # 3-bit saturating counters
+FRIENDLY_THRESHOLD = (COUNTER_MAX + 1) // 2  # counter >= 4 => friendly
+
+
+def predictor_index(pc: int) -> int:
+    """Hash a PC into the predictor table (fold-and-mask)."""
+    return (pc ^ (pc >> PREDICTOR_BITS) ^ (pc >> (2 * PREDICTOR_BITS))) & (
+        PREDICTOR_SIZE - 1
+    )
+
+
+class HawkeyePolicy(ReplacementPolicy):
+    """OPTgen-trained PC-based reuse prediction at the LLC."""
+
+    name = "hawkeye"
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._rrpv = [[HAWKEYE_RRPV_MAX] * num_ways for _ in range(num_sets)]
+        self._line_friendly = [[False] * num_ways for _ in range(num_sets)]
+        self._line_pc = [[0] * num_ways for _ in range(num_sets)]
+        self._counters = [FRIENDLY_THRESHOLD] * PREDICTOR_SIZE  # weakly friendly
+        self._sampler = SetSampler(num_sets, num_ways)
+        self.stat_friendly_fills = 0
+        self.stat_averse_fills = 0
+
+    # -- predictor ------------------------------------------------------------
+
+    def _predict_friendly(self, pc: int) -> bool:
+        return self._counters[predictor_index(pc)] >= FRIENDLY_THRESHOLD
+
+    def _train(self, pc: int, opt_hit: bool) -> None:
+        idx = predictor_index(pc)
+        if opt_hit:
+            if self._counters[idx] < COUNTER_MAX:
+                self._counters[idx] += 1
+        elif self._counters[idx] > 0:
+            self._counters[idx] -= 1
+
+    def _detrain(self, pc: int) -> None:
+        idx = predictor_index(pc)
+        if self._counters[idx] > 0:
+            self._counters[idx] -= 1
+
+    # -- sampling -------------------------------------------------------------
+
+    def _sample(self, set_index: int, access: PolicyAccess) -> None:
+        if access.is_writeback:
+            return  # writebacks are invisible to OPTgen, as in the reference
+        decided, previous, evicted = self._sampler.observe(
+            set_index, access.block, access.pc
+        )
+        if decided and previous is not None:
+            self._train(previous.pc, previous.opt_hit)  # type: ignore[attr-defined]
+        if evicted is not None:
+            # The evicted sampler entry was never reused inside the window:
+            # OPT would not have kept it, so detrain its PC.
+            self._detrain(evicted.pc)
+
+    # -- replacement hooks ------------------------------------------------------
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        rrpv = self._rrpv[set_index]
+        for way in range(self.num_ways):
+            if rrpv[way] == HAWKEYE_RRPV_MAX:
+                return way
+        # No cache-averse line: evict the oldest friendly line and detrain
+        # its PC — the predictor said "keep", OPT-in-hindsight disagrees.
+        victim = 0
+        max_rrpv = rrpv[0]
+        for way in range(1, self.num_ways):
+            if rrpv[way] > max_rrpv:
+                max_rrpv = rrpv[way]
+                victim = way
+        if self._line_friendly[set_index][victim]:
+            self._detrain(self._line_pc[set_index][victim])
+        return victim
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._sample(set_index, access)
+        if access.is_writeback:
+            return
+        friendly = self._predict_friendly(access.pc)
+        self._line_friendly[set_index][way] = friendly
+        self._line_pc[set_index][way] = access.pc
+        self._rrpv[set_index][way] = 0 if friendly else HAWKEYE_RRPV_MAX
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._sample(set_index, access)
+        if access.is_writeback:
+            # Writebacks carry no PC: insert averse so they leave quickly.
+            self._line_friendly[set_index][way] = False
+            self._line_pc[set_index][way] = 0
+            self._rrpv[set_index][way] = HAWKEYE_RRPV_MAX
+            return
+        friendly = self._predict_friendly(access.pc)
+        self._line_friendly[set_index][way] = friendly
+        self._line_pc[set_index][way] = access.pc
+        if friendly:
+            self.stat_friendly_fills += 1
+            # Age every other line so relative insertion order among
+            # friendly lines is preserved (the reference's saturating age).
+            rrpv = self._rrpv[set_index]
+            for w in range(self.num_ways):
+                if w != way and rrpv[w] < HAWKEYE_RRPV_MAX - 1:
+                    rrpv[w] += 1
+            rrpv[way] = 0
+        else:
+            self.stat_averse_fills += 1
+            self._rrpv[set_index][way] = HAWKEYE_RRPV_MAX
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def optgen_hit_rate(self) -> float:
+        """OPT hit rate reconstructed on the sampled sets."""
+        return self._sampler.aggregate_opt_hit_rate()

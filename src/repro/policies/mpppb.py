@@ -1,0 +1,174 @@
+"""MPPPB: Multiperspective Placement, Promotion and Bypass
+(Jiménez & Teran, MICRO 2017 — "Multiperspective Reuse Prediction").
+
+MPPPB predicts, on every LLC touch, whether the block will be reused
+before eviction, by summing small integer weights drawn from several
+feature tables ("perspectives"): hashes of the triggering PC at several
+shifts, a fold of recent PC history, the block's page number and its
+offset within the page. A high sum means "dead": dead-on-arrival fills
+are bypassed, dead-on-touch lines become preferred victims; otherwise the
+underlying recency order (LRU stamps) decides.
+
+Training is perceptron-style with a margin: sampled sets remember the
+feature vector of each line's last touch; a hit trains toward "live", an
+eviction without reuse trains toward "dead", and weights only move when
+the prediction was wrong or under-confident.
+
+This port keeps the paper's architecture (multiple orthogonal
+perspectives, margin training, sampled training sets, bypass + placement)
+with a reduced feature set of 7 perspectives sized to the LLC modelled
+here; see DESIGN.md for the substitution note.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .base import BYPASS, PolicyAccess, ReplacementPolicy
+
+TABLE_BITS = 8
+TABLE_SIZE = 1 << TABLE_BITS
+WEIGHT_MIN, WEIGHT_MAX = -32, 31
+
+#: Prediction sum at or above this bypasses the fill entirely.
+THETA_BYPASS = 10
+#: Prediction sum at or above this marks the line dead (preferred victim).
+THETA_DEAD = 4
+#: Margin for perceptron training.
+THETA_TRAIN = 8
+
+#: Every Nth set is a training set (the paper samples ~1/32 of sets).
+SAMPLE_STRIDE = 8
+
+NUM_FEATURES = 7
+PC_HISTORY_LENGTH = 4
+
+
+def _mask(value: int) -> int:
+    return value & (TABLE_SIZE - 1)
+
+
+class MPPPBPolicy(ReplacementPolicy):
+    """Multiperspective perceptron reuse predictor with bypass."""
+
+    name = "mpppb"
+    supports_bypass = True
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._stamp = [[0] * num_ways for _ in range(num_sets)]
+        self._clock = 0
+        self._line_dead = [[False] * num_ways for _ in range(num_sets)]
+        self._line_features = [[None] * num_ways for _ in range(num_sets)]
+        self._line_reused = [[True] * num_ways for _ in range(num_sets)]
+        self._weights = [[0] * TABLE_SIZE for _ in range(NUM_FEATURES)]
+        self._pc_history: deque[int] = deque(maxlen=PC_HISTORY_LENGTH)
+        self.stat_bypasses = 0
+        self.stat_fills = 0
+
+    # -- features ---------------------------------------------------------------
+
+    def _features(self, access: PolicyAccess) -> tuple[int, ...]:
+        """Compute the 7 perspective indices for this access."""
+        pc = access.pc
+        block = access.block
+        history_fold = 0
+        for i, h in enumerate(self._pc_history):
+            history_fold ^= h >> (i + 1)
+        page = block >> 6  # 4 KiB page of a 64 B block
+        return (
+            _mask(pc),
+            _mask(pc >> 4),
+            _mask(pc >> 8),
+            _mask(pc ^ (pc >> TABLE_BITS)),
+            _mask(history_fold),
+            _mask(page ^ (page >> TABLE_BITS)),
+            _mask(block),  # offset bits within the page + low page bits
+        )
+
+    def _sum(self, features: tuple[int, ...]) -> int:
+        return sum(self._weights[i][f] for i, f in enumerate(features))
+
+    def _train(self, features: tuple[int, ...], dead: bool) -> None:
+        """Perceptron update toward ``dead`` (+1) or live (-1), with margin."""
+        total = self._sum(features)
+        if dead and total < THETA_TRAIN:
+            for i, f in enumerate(features):
+                if self._weights[i][f] < WEIGHT_MAX:
+                    self._weights[i][f] += 1
+        elif not dead and total > -THETA_TRAIN:
+            for i, f in enumerate(features):
+                if self._weights[i][f] > WEIGHT_MIN:
+                    self._weights[i][f] -= 1
+
+    def _is_sampled(self, set_index: int) -> bool:
+        return set_index % SAMPLE_STRIDE == 0
+
+    # -- replacement hooks ----------------------------------------------------------
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        # Bypass dead-on-arrival demand fills (never bypass writebacks: the
+        # block must land somewhere to preserve its dirty data).
+        if not access.is_writeback:
+            features = self._features(access)
+            if self._sum(features) >= THETA_BYPASS:
+                self.stat_bypasses += 1
+                return BYPASS
+        # Prefer a predicted-dead line; fall back to LRU.
+        dead = self._line_dead[set_index]
+        stamps = self._stamp[set_index]
+        victim = -1
+        oldest = None
+        for way in range(self.num_ways):
+            if dead[way] and (oldest is None or stamps[way] < oldest):
+                victim = way
+                oldest = stamps[way]
+        if victim >= 0:
+            return victim
+        victim = 0
+        oldest = stamps[0]
+        for way in range(1, self.num_ways):
+            if stamps[way] < oldest:
+                oldest = stamps[way]
+                victim = way
+        return victim
+
+    def _touch(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._clock += 1
+        self._stamp[set_index][way] = self._clock
+        if access.is_writeback:
+            self._line_dead[set_index][way] = True
+            self._line_features[set_index][way] = None
+            self._line_reused[set_index][way] = True
+            return
+        features = self._features(access)
+        self._line_dead[set_index][way] = self._sum(features) >= THETA_DEAD
+        if self._is_sampled(set_index):
+            self._line_features[set_index][way] = features
+        self._pc_history.append(access.pc)
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        if self._is_sampled(set_index):
+            prior = self._line_features[set_index][way]
+            if prior is not None:
+                self._train(prior, dead=False)  # the line was reused: live
+        self._line_reused[set_index][way] = True
+        self._touch(set_index, way, access)
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self.stat_fills += 1
+        self._line_reused[set_index][way] = False
+        self._touch(set_index, way, access)
+
+    def on_eviction(self, set_index: int, way: int, victim_block: int) -> None:
+        if self._is_sampled(set_index):
+            prior = self._line_features[set_index][way]
+            if prior is not None and not self._line_reused[set_index][way]:
+                self._train(prior, dead=True)  # evicted untouched: dead
+        self._line_features[set_index][way] = None
+
+    @property
+    def bypass_rate(self) -> float:
+        """Fraction of fill attempts that were bypassed."""
+        total = self.stat_fills + self.stat_bypasses
+        return self.stat_bypasses / total if total else 0.0

@@ -1,0 +1,73 @@
+"""Name-based policy registry.
+
+The harness, benchmarks and examples refer to policies by their canonical
+lowercase names (``"lru"``, ``"srrip"``, ``"hawkeye"``, ...). The registry
+maps each name to a zero-argument factory producing a fresh, unattached
+policy instance. Belady's OPT is deliberately *not* constructible here —
+it needs a recorded future and is built by
+:func:`repro.core.oracle.simulate_with_opt`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import UnknownPolicyError
+from .base import ReplacementPolicy
+from .basic import FIFOPolicy, LRUPolicy, MRUPolicy, NRUPolicy, RandomPolicy, TreePLRUPolicy
+from .dip import BIPPolicy, DIPPolicy, LIPPolicy
+from .glider import GliderPolicy
+from .hawkeye import HawkeyePolicy
+from .mpppb import MPPPBPolicy
+from .rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from .ship import SHiPPolicy
+
+_REGISTRY: dict[str, Callable[[], ReplacementPolicy]] = {}
+
+
+def register_policy(name: str, factory: Callable[[], ReplacementPolicy]) -> None:
+    """Register (or replace) a policy factory under ``name``."""
+    _REGISTRY[name.lower()] = factory
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Create a fresh instance of the policy registered as ``name``."""
+    factory = _REGISTRY.get(name.lower())
+    if factory is None:
+        raise UnknownPolicyError(
+            f"unknown replacement policy {name!r}; available: {', '.join(available_policies())}"
+        )
+    return factory()
+
+
+def available_policies() -> list[str]:
+    """Sorted list of registered policy names."""
+    return sorted(_REGISTRY)
+
+
+#: The six policies the paper evaluates, in its presentation order.
+PAPER_POLICIES = ("srrip", "drrip", "ship", "hawkeye", "glider", "mpppb")
+
+#: The paper's baseline.
+BASELINE_POLICY = "lru"
+
+
+for _name, _factory in [
+    ("lru", LRUPolicy),
+    ("mru", MRUPolicy),
+    ("fifo", FIFOPolicy),
+    ("random", RandomPolicy),
+    ("nru", NRUPolicy),
+    ("plru", TreePLRUPolicy),
+    ("lip", LIPPolicy),
+    ("bip", BIPPolicy),
+    ("dip", DIPPolicy),
+    ("srrip", SRRIPPolicy),
+    ("brrip", BRRIPPolicy),
+    ("drrip", DRRIPPolicy),
+    ("ship", SHiPPolicy),
+    ("hawkeye", HawkeyePolicy),
+    ("glider", GliderPolicy),
+    ("mpppb", MPPPBPolicy),
+]:
+    register_policy(_name, _factory)

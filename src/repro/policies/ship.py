@@ -1,0 +1,84 @@
+"""SHiP: Signature-based Hit Predictor (Wu et al., MICRO 2011).
+
+SHiP extends SRRIP with a Signature History Counter Table (SHCT) indexed
+by a hashed PC signature. Each cache line remembers the signature that
+filled it and an *outcome* bit recording whether it was ever re-referenced.
+On eviction of a never-reused line the signature's counter is decremented;
+on a hit it is incremented. Fills whose signature counter is zero insert
+at distant RRPV (the line is predicted dead on arrival), everything else
+inserts at long RRPV like SRRIP.
+
+Constants follow the SHiP-mem configuration evaluated in the paper and
+ChampSim's ``ship`` replacement: 14-bit signatures (16K-entry SHCT) and
+2-bit saturating counters.
+"""
+
+from __future__ import annotations
+
+from .base import PolicyAccess, ReplacementPolicy
+from .rrip import RRPV_MAX
+
+SIGNATURE_BITS = 14
+SHCT_SIZE = 1 << SIGNATURE_BITS
+SHCT_MAX = 3  # 2-bit saturating counters
+
+
+def pc_signature(pc: int) -> int:
+    """Hash a PC into a 14-bit SHCT signature (fold-and-mask)."""
+    return (pc ^ (pc >> SIGNATURE_BITS) ^ (pc >> (2 * SIGNATURE_BITS))) & (
+        SHCT_SIZE - 1
+    )
+
+
+class SHiPPolicy(ReplacementPolicy):
+    """SRRIP base policy plus the SHCT-driven insertion predictor."""
+
+    name = "ship"
+
+    def initialize(self, num_sets: int, num_ways: int) -> None:
+        super().initialize(num_sets, num_ways)
+        self._rrpv = [[RRPV_MAX] * num_ways for _ in range(num_sets)]
+        self._line_sig = [[0] * num_ways for _ in range(num_sets)]
+        self._line_reused = [[False] * num_ways for _ in range(num_sets)]
+        self._line_valid = [[False] * num_ways for _ in range(num_sets)]
+        self._shct = [SHCT_MAX // 2 + 1] * SHCT_SIZE  # weakly reusable start
+
+    def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
+        rrpv = self._rrpv[set_index]
+        while True:
+            for way in range(self.num_ways):
+                if rrpv[way] == RRPV_MAX:
+                    return way
+            for way in range(self.num_ways):
+                rrpv[way] += 1
+
+    def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        self._rrpv[set_index][way] = 0
+        if self._line_valid[set_index][way] and not self._line_reused[set_index][way]:
+            self._line_reused[set_index][way] = True
+            sig = self._line_sig[set_index][way]
+            if self._shct[sig] < SHCT_MAX:
+                self._shct[sig] += 1
+
+    def on_eviction(self, set_index: int, way: int, victim_block: int) -> None:
+        if self._line_valid[set_index][way] and not self._line_reused[set_index][way]:
+            sig = self._line_sig[set_index][way]
+            if self._shct[sig] > 0:
+                self._shct[sig] -= 1
+        self._line_valid[set_index][way] = False
+
+    def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        sig = pc_signature(access.pc)
+        self._line_sig[set_index][way] = sig
+        self._line_reused[set_index][way] = False
+        self._line_valid[set_index][way] = True
+        if access.is_writeback:
+            # Writebacks carry no PC; insert at distant RRPV, as in the
+            # ChampSim reference, so they cannot pollute the SHCT.
+            self._rrpv[set_index][way] = RRPV_MAX
+            self._line_valid[set_index][way] = False
+            return
+        if self._shct[sig] == 0:
+            self._rrpv[set_index][way] = RRPV_MAX
+        else:
+            self._rrpv[set_index][way] = RRPV_MAX - 1

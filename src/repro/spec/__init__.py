@@ -1,0 +1,31 @@
+"""SPEC CPU 2006/2017 proxy workloads (documented substitution)."""
+
+from .patterns import (
+    banded_stride,
+    phased_mix,
+    pointer_working_set,
+    scan_plus_resident,
+    skewed_reuse,
+    thrash_cycle,
+)
+from .suite import (
+    DEFAULT_ACCESSES,
+    build_spec_workload,
+    spec06_workloads,
+    spec17_workloads,
+    spec_suite,
+)
+
+__all__ = [
+    "banded_stride",
+    "phased_mix",
+    "pointer_working_set",
+    "scan_plus_resident",
+    "skewed_reuse",
+    "thrash_cycle",
+    "DEFAULT_ACCESSES",
+    "build_spec_workload",
+    "spec06_workloads",
+    "spec17_workloads",
+    "spec_suite",
+]

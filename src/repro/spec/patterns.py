@@ -1,0 +1,156 @@
+"""Composite access-pattern builders for the SPEC proxies.
+
+Each SPEC CPU benchmark's cache behaviour, at the granularity that
+matters for LLC replacement studies, is a composition of a small number
+of canonical structures: resident working sets with PC-correlated reuse,
+one-shot streaming scans, strided array walks, pointer chases, and
+Zipf-skewed hot/cold mixes. These builders compose the primitives from
+:mod:`repro.trace.synthetic` into those shapes.
+
+The constructions deliberately contain the structure PC-correlating
+policies (SHiP, Hawkeye, Glider, MPPPB) were designed to exploit — each
+logical stream has its own small PC set, and reuse behaviour is
+consistent per PC — because that is the property of SPEC workloads the
+paper contrasts against graph processing.
+"""
+
+from __future__ import annotations
+
+from ..trace import synthetic
+from ..trace.trace import Trace
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+def scan_plus_resident(
+    num_accesses: int,
+    resident_bytes: int,
+    scan_fraction: float = 0.5,
+    seed: int = 0,
+    name: str = "scan+resident",
+) -> Trace:
+    """A resident working set polluted by a one-shot streaming scan.
+
+    The canonical LRU-defeating mix: the scan evicts the resident set
+    under LRU, while scan-resistant and PC-predicting policies keep it.
+    ``scan_fraction`` sets the share of accesses belonging to the scan.
+    """
+    scan_every = max(1, round(1.0 / max(scan_fraction, 1e-6)) - 1)
+    ws = synthetic.working_set_loop(
+        num_accesses, set_bytes=resident_bytes, seed=seed, num_pcs=12
+    )
+    scan = synthetic.streaming(num_accesses, stride=64, base=0x7000_0000 + seed * (1 << 32))
+    return synthetic.interleave([ws, scan], pattern=[scan_every, 1], name=name)
+
+
+def thrash_cycle(
+    num_accesses: int,
+    cycle_bytes: int,
+    seed: int = 0,
+    name: str = "thrash",
+) -> Trace:
+    """A cyclic working set larger than the cache — LRU's worst case.
+
+    BIP/BRRIP-style bimodal insertion retains a useful fraction; LRU
+    retains nothing. Used for the DRRIP/set-duelling experiments.
+    """
+    return synthetic.strided(
+        num_accesses, stride=64, elements=max(2, cycle_bytes // 64),
+        base=0x9000_0000 + seed * (1 << 32),
+    )
+
+
+def pointer_working_set(
+    num_accesses: int,
+    structure_bytes: int,
+    resident_bytes: int,
+    seed: int = 0,
+    name: str = "pointer+resident",
+) -> Trace:
+    """A pointer chase over a big structure mixed with hot metadata.
+
+    Models `mcf`-class behaviour: serial dependent loads over a structure
+    far above LLC capacity, interleaved with reused bookkeeping data.
+    """
+    chase = synthetic.pointer_chase(
+        num_accesses, num_nodes=max(2, structure_bytes // 64), seed=seed
+    )
+    meta = synthetic.working_set_loop(
+        num_accesses, set_bytes=resident_bytes, seed=seed + 1, num_pcs=6,
+        base=0xA000_0000 + seed * (1 << 32),
+    )
+    return synthetic.interleave([chase, meta], pattern=[1, 2], name=name)
+
+
+def skewed_reuse(
+    num_accesses: int,
+    footprint_bytes: int,
+    skew: float = 0.9,
+    seed: int = 0,
+    name: str = "skewed",
+) -> Trace:
+    """Zipf-skewed reuse over a footprint above LLC size.
+
+    Models the hot-head/cold-tail mixes of `omnetpp`/`xalancbmk`-class
+    codes; good policies protect the head.
+    """
+    return synthetic.zipf_reuse(
+        num_accesses, num_blocks=max(2, footprint_bytes // 64), skew=skew, seed=seed,
+        base=0xB000_0000 + seed * (1 << 32),
+    )
+
+
+def banded_stride(
+    num_accesses: int,
+    band_bytes: int,
+    num_bands: int = 4,
+    seed: int = 0,
+    name: str = "banded",
+) -> Trace:
+    """Several interleaved strided walks over separate bands.
+
+    Models multi-array stencil codes (`bwaves`/`lbm`-class): each band is
+    sequential, the interleaving stresses way-allocation.
+    """
+    bands = [
+        synthetic.streaming(
+            num_accesses // num_bands,
+            stride=64,
+            base=0xC000_0000 + (seed * num_bands + i) * (1 << 32),
+            pc=0x400000 + 0x40 * (16 + i),
+        )
+        for i in range(num_bands)
+    ]
+    return synthetic.interleave(bands, name=name)
+
+
+def phased_mix(
+    num_accesses: int,
+    resident_bytes: int,
+    scan_bytes: int,
+    seed: int = 0,
+    name: str = "phased",
+) -> Trace:
+    """Alternating compute-resident and scan phases (`gcc`-class).
+
+    Phase changes are where set-duelling policies pay their adaptation
+    latency; included so DRRIP's PSEL dynamics get exercised.
+    """
+    per_phase = max(1, num_accesses // 4)
+    phases = [
+        synthetic.working_set_loop(
+            per_phase, set_bytes=resident_bytes, seed=seed, num_pcs=10
+        ),
+        synthetic.strided(
+            per_phase, stride=64, elements=max(2, scan_bytes // 64),
+            base=0xD000_0000 + seed * (1 << 32),
+        ),
+        synthetic.working_set_loop(
+            per_phase, set_bytes=resident_bytes, seed=seed + 2, num_pcs=10
+        ),
+        synthetic.streaming(
+            per_phase, stride=64, base=0xE000_0000 + seed * (1 << 32)
+        ),
+    ]
+    return synthetic.phased(phases, name=name)

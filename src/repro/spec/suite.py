@@ -1,0 +1,154 @@
+"""SPEC CPU 2006 / 2017 proxy suites.
+
+The paper's Figure 3 compares replacement policies on SPEC 2006, SPEC
+2017 and GAP. SPEC binaries and the authors' traces are proprietary, so
+— per the substitution rule in DESIGN.md — each memory-intensive SPEC
+benchmark commonly used in LLC replacement studies is represented by a
+synthetic proxy reproducing its published cache-behaviour class:
+
+==============  ====================================================
+proxy           behaviour class it reproduces
+==============  ====================================================
+mcf             pointer chase over a huge structure + hot metadata
+omnetpp         Zipf-skewed event-queue reuse above LLC size
+xalancbmk       skewed reuse, many PCs, moderate footprint
+soplex          scan + resident working set (sparse LP matrices)
+sphinx3         resident set slightly above LLC ("borderline fit")
+libquantum      pure streaming (no reuse at LLC)
+gcc             phased compute/scan mix
+bwaves          banded multi-array streaming stencils
+milc            cyclic working set above LLC (thrash; BIP-friendly)
+lbm             store-heavy streaming bands
+cactusADM       strided scientific working set near LLC size
+gems            large strided walks with periodic reuse
+==============  ====================================================
+
+The 2017 suite reuses the classes of its 2006 ancestors where the
+benchmark carried over (mcf_r, omnetpp_r, ...), with different sizes and
+seeds, plus the new memory-heavy entries (roms, pop2, blender-class
+resident mixes). Workload names carry the suite prefix so harness output
+reads like the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import WorkloadError
+from ..trace import synthetic
+from ..trace.trace import Trace
+from .patterns import (
+    KIB,
+    MIB,
+    banded_stride,
+    phased_mix,
+    pointer_working_set,
+    scan_plus_resident,
+    skewed_reuse,
+    thrash_cycle,
+)
+
+#: Default accesses per proxy workload.
+DEFAULT_ACCESSES = 300_000
+
+
+def _rename(trace: Trace, name: str) -> Trace:
+    trace.name = name
+    return trace
+
+
+_SPEC06_BUILDERS: dict[str, Callable[[int], Trace]] = {
+    "mcf": lambda n: pointer_working_set(
+        n, structure_bytes=8 * MIB, resident_bytes=256 * KIB, seed=6
+    ),
+    "omnetpp": lambda n: skewed_reuse(n, footprint_bytes=4 * MIB, skew=0.95, seed=7),
+    "xalancbmk": lambda n: skewed_reuse(n, footprint_bytes=2 * MIB, skew=1.1, seed=8),
+    "soplex": lambda n: scan_plus_resident(
+        n, resident_bytes=1 * MIB, scan_fraction=0.4, seed=9
+    ),
+    "sphinx3": lambda n: synthetic.working_set_loop(
+        n, set_bytes=2 * MIB, seed=10, num_pcs=24
+    ),
+    "libquantum": lambda n: synthetic.streaming(n, stride=64, base=0x1_2000_0000),
+    "gcc": lambda n: phased_mix(n, resident_bytes=768 * KIB, scan_bytes=4 * MIB, seed=11),
+    "bwaves": lambda n: banded_stride(n, band_bytes=4 * MIB, num_bands=4, seed=12),
+    "milc": lambda n: thrash_cycle(n, cycle_bytes=3 * MIB, seed=13),
+    "lbm": lambda n: banded_stride(n, band_bytes=8 * MIB, num_bands=2, seed=14),
+    "cactusADM": lambda n: synthetic.working_set_loop(
+        n, set_bytes=1536 * KIB, seed=15, num_pcs=16
+    ),
+    "GemsFDTD": lambda n: scan_plus_resident(
+        n, resident_bytes=1280 * KIB, scan_fraction=0.55, seed=16
+    ),
+}
+
+_SPEC17_BUILDERS: dict[str, Callable[[int], Trace]] = {
+    "mcf_r": lambda n: pointer_working_set(
+        n, structure_bytes=12 * MIB, resident_bytes=384 * KIB, seed=26
+    ),
+    "omnetpp_r": lambda n: skewed_reuse(n, footprint_bytes=6 * MIB, skew=0.9, seed=27),
+    "xalancbmk_r": lambda n: skewed_reuse(n, footprint_bytes=3 * MIB, skew=1.05, seed=28),
+    "gcc_r": lambda n: phased_mix(
+        n, resident_bytes=1 * MIB, scan_bytes=6 * MIB, seed=29
+    ),
+    "lbm_r": lambda n: banded_stride(n, band_bytes=12 * MIB, num_bands=3, seed=30),
+    "cactuBSSN_r": lambda n: synthetic.working_set_loop(
+        n, set_bytes=1792 * KIB, seed=31, num_pcs=20
+    ),
+    "roms_r": lambda n: banded_stride(n, band_bytes=6 * MIB, num_bands=5, seed=32),
+    "pop2_s": lambda n: scan_plus_resident(
+        n, resident_bytes=1152 * KIB, scan_fraction=0.45, seed=33
+    ),
+    "x264_r": lambda n: synthetic.working_set_loop(
+        n, set_bytes=896 * KIB, seed=34, num_pcs=32
+    ),
+    "deepsjeng_r": lambda n: skewed_reuse(
+        n, footprint_bytes=1792 * KIB, skew=1.2, seed=35
+    ),
+    "blender_r": lambda n: phased_mix(
+        n, resident_bytes=1280 * KIB, scan_bytes=5 * MIB, seed=36
+    ),
+    "fotonik3d_r": lambda n: thrash_cycle(n, cycle_bytes=4 * MIB, seed=37),
+}
+
+
+def spec06_workloads() -> list[str]:
+    """Proxy names of the SPEC CPU 2006 suite."""
+    return sorted(_SPEC06_BUILDERS)
+
+
+def spec17_workloads() -> list[str]:
+    """Proxy names of the SPEC CPU 2017 suite."""
+    return sorted(_SPEC17_BUILDERS)
+
+
+def build_spec_workload(
+    suite: str, name: str, num_accesses: int = DEFAULT_ACCESSES
+) -> Trace:
+    """Build one proxy trace, named ``"<suite>.<benchmark>"``."""
+    builders = {"spec06": _SPEC06_BUILDERS, "spec17": _SPEC17_BUILDERS}.get(suite)
+    if builders is None:
+        raise WorkloadError(f"unknown suite {suite!r}; expected spec06 or spec17")
+    builder = builders.get(name)
+    if builder is None:
+        raise WorkloadError(
+            f"unknown {suite} workload {name!r}; available: {', '.join(sorted(builders))}"
+        )
+    if num_accesses < 1:
+        raise WorkloadError("num_accesses must be positive")
+    return _rename(builder(num_accesses), f"{suite}.{name}")
+
+
+def spec_suite(
+    suite: str = "spec06",
+    num_accesses: int = DEFAULT_ACCESSES,
+    workloads: list[str] | None = None,
+) -> dict[str, Trace]:
+    """All (or selected) proxies of one suite, keyed by qualified name."""
+    names = workloads or (
+        spec06_workloads() if suite == "spec06" else spec17_workloads()
+    )
+    return {
+        f"{suite}.{name}": build_spec_workload(suite, name, num_accesses)
+        for name in names
+    }

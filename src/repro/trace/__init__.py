@@ -1,0 +1,42 @@
+"""Trace infrastructure: records, containers, IO, statistics, synthesis."""
+
+from .builder import TraceBuilder
+from .champsim import CHAMPSIM_DTYPE, load_champsim_trace, save_champsim_trace
+from .filters import (
+    downsample,
+    filter_by_address_range,
+    filter_by_kind,
+    filter_by_pc,
+    filter_trace,
+    rebase_addresses,
+    remap_pcs,
+    split_by_pc,
+)
+from .io import load_trace, save_trace
+from .record import TRACE_DTYPE, Access, AccessKind, make_records
+from .stats import TraceStats, compute_trace_stats
+from .trace import Trace
+
+__all__ = [
+    "TRACE_DTYPE",
+    "Access",
+    "AccessKind",
+    "Trace",
+    "TraceBuilder",
+    "TraceStats",
+    "compute_trace_stats",
+    "load_trace",
+    "make_records",
+    "save_trace",
+    "CHAMPSIM_DTYPE",
+    "load_champsim_trace",
+    "save_champsim_trace",
+    "filter_trace",
+    "filter_by_pc",
+    "filter_by_kind",
+    "filter_by_address_range",
+    "downsample",
+    "rebase_addresses",
+    "remap_pcs",
+    "split_by_pc",
+]

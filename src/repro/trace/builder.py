@@ -1,0 +1,155 @@
+"""Incremental trace construction.
+
+Workload tracers (the GAP kernels in particular) emit accesses phase by
+phase. :class:`TraceBuilder` buffers appended chunks and materializes a
+:class:`~repro.trace.trace.Trace` at the end, avoiding quadratic
+concatenation. It accepts both single accesses (slow path, used in
+data-dependent kernels) and whole numpy chunks (fast path, used for
+vectorizable phases); small chunks are coalesced into an internal buffer
+so per-vertex emission does not fragment the chunk list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import TraceError
+from .record import TRACE_DTYPE, AccessKind, make_records
+from .trace import Trace
+
+_CHUNK = 65536
+
+
+class TraceBuilder:
+    """Accumulates access records and builds a :class:`Trace`.
+
+    The builder tracks the *instruction gap* automatically: call
+    :meth:`tick` to account for non-memory instructions executed between
+    accesses, then :meth:`access` for each memory operation. Vectorized
+    phases append pre-built arrays with :meth:`extend`.
+    """
+
+    def __init__(
+        self,
+        name: str = "trace",
+        info: Mapping[str, Any] | None = None,
+        limit: int | None = None,
+    ) -> None:
+        if limit is not None and limit < 1:
+            raise TraceError(f"limit must be >= 1 or None, got {limit}")
+        self.name = name
+        self.info: dict[str, Any] = dict(info or {})
+        self.limit = limit
+        self._chunks: list[np.ndarray] = []
+        self._stored = 0  # records inside _chunks (kept in sync, O(1) length)
+        self._buf = np.empty(_CHUNK, dtype=TRACE_DTYPE)
+        self._fill = 0
+        self._pending_gap = 0
+
+    @property
+    def num_accesses(self) -> int:
+        """Number of accesses recorded so far."""
+        return self._stored + self._fill
+
+    @property
+    def full(self) -> bool:
+        """Whether the access budget (``limit``) has been reached.
+
+        Workload tracers use this to stop simulating-for-the-trace early:
+        records appended once full are silently dropped, and the built
+        trace is truncated to exactly ``limit`` accesses.
+        """
+        return self.limit is not None and self.num_accesses >= self.limit
+
+    def tick(self, instructions: int = 1) -> None:
+        """Account for ``instructions`` non-memory instructions."""
+        if instructions < 0:
+            raise TraceError(f"instruction count must be >= 0, got {instructions}")
+        self._pending_gap += instructions
+
+    def access(self, addr: int, pc: int, kind: AccessKind = AccessKind.LOAD) -> None:
+        """Record one memory access.
+
+        The access itself counts as one instruction, so the stored gap is
+        the pending non-memory instruction count plus one.
+        """
+        if self.full:
+            return
+        if self._fill == _CHUNK:
+            self._flush_buf()
+        rec = self._buf[self._fill]
+        rec["addr"] = addr
+        rec["pc"] = pc
+        rec["kind"] = int(kind)
+        rec["gap"] = self._pending_gap + 1
+        self._fill += 1
+        self._pending_gap = 0
+
+    def extend(
+        self,
+        addrs: np.ndarray,
+        pcs: np.ndarray | int,
+        kinds: np.ndarray | AccessKind = AccessKind.LOAD,
+        gaps: np.ndarray | int = 1,
+    ) -> None:
+        """Append a chunk of accesses built vectorized.
+
+        ``pcs``, ``kinds`` and ``gaps`` may be scalars, in which case they
+        are broadcast over the chunk. A pending :meth:`tick` gap is folded
+        into the first record of the chunk.
+        """
+        if self.full:
+            return
+        n = len(addrs)
+        if n == 0:
+            return
+        first_gap_bonus = self._pending_gap
+        self._pending_gap = 0
+        # Small chunks go straight into the buffer — per-vertex emission
+        # would otherwise fragment _chunks into hundreds of thousands of
+        # tiny arrays and make build() quadratic-ish.
+        if n <= _CHUNK - self._fill:
+            view = self._buf[self._fill : self._fill + n]
+            view["addr"] = addrs
+            view["pc"] = pcs
+            if isinstance(kinds, (int, AccessKind)):
+                view["kind"] = int(kinds)
+            else:
+                view["kind"] = kinds
+            view["gap"] = gaps
+            if first_gap_bonus:
+                view["gap"][0] += first_gap_bonus
+            self._fill += n
+            return
+        pcs_arr = np.broadcast_to(np.asarray(pcs, dtype=np.uint64), (n,))
+        kind_values = (
+            int(kinds) if isinstance(kinds, (int, AccessKind)) else np.asarray(kinds)
+        )
+        kinds_arr = np.broadcast_to(np.asarray(kind_values, dtype=np.uint8), (n,))
+        gaps_arr = np.array(np.broadcast_to(np.asarray(gaps, dtype=np.uint32), (n,)))
+        if first_gap_bonus:
+            gaps_arr = gaps_arr.copy()
+            gaps_arr[0] += first_gap_bonus
+        self._flush_buf()
+        chunk = make_records(np.asarray(addrs, dtype=np.uint64), pcs_arr, kinds_arr, gaps_arr)
+        self._chunks.append(chunk)
+        self._stored += len(chunk)
+
+    def _flush_buf(self) -> None:
+        if self._fill:
+            self._chunks.append(self._buf[: self._fill].copy())
+            self._stored += self._fill
+            self._fill = 0
+
+    def build(self) -> Trace:
+        """Materialize the accumulated records into a :class:`Trace`."""
+        self._flush_buf()
+        if self._chunks:
+            records = np.concatenate(self._chunks)
+        else:
+            records = np.empty(0, dtype=TRACE_DTYPE)
+        if self.limit is not None and len(records) > self.limit:
+            records = records[: self.limit].copy()
+        return Trace(records, name=self.name, info=self.info)

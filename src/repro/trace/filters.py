@@ -1,0 +1,112 @@
+"""Trace transformation utilities.
+
+Functional helpers that derive new traces from existing ones — the
+plumbing for characterization studies ("only the gather PC's accesses",
+"only stores", "every 4th access") and for trace anonymization or
+re-basing. All functions return new :class:`~repro.trace.trace.Trace`
+objects; inputs are never mutated (records are immutable anyway).
+
+Gap semantics: when accesses are dropped, their instruction gaps are
+folded into the next surviving access, so total instruction counts are
+preserved and MPKI stays meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import TraceError
+from .record import AccessKind
+from .trace import Trace
+
+
+def _fold_gaps(gaps: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Gaps of kept accesses, with dropped accesses' gaps folded forward.
+
+    The gap of each kept access becomes the sum of its own gap and the
+    gaps of all dropped accesses since the previous kept one. Trailing
+    dropped accesses (after the last kept one) are discarded, matching a
+    trace that simply ends earlier.
+    """
+    cumulative = np.concatenate([[0], np.cumsum(gaps.astype(np.int64))])
+    kept_idx = np.nonzero(keep)[0]
+    ends = cumulative[kept_idx + 1]
+    starts = np.concatenate([[0], ends[:-1]])
+    return (ends - starts).astype(np.uint32)
+
+
+def filter_trace(trace: Trace, keep: np.ndarray, name: str | None = None) -> Trace:
+    """Keep only accesses where the boolean mask is True (gaps folded)."""
+    keep = np.asarray(keep, dtype=bool)
+    if len(keep) != len(trace):
+        raise TraceError(
+            f"mask length {len(keep)} does not match trace length {len(trace)}"
+        )
+    if not keep.any():
+        raise TraceError("filter would drop every access")
+    records = trace.records[keep].copy()
+    records["gap"] = _fold_gaps(trace.gaps, keep)
+    return Trace(records, name=name or f"{trace.name}|filtered", info=trace.info)
+
+
+def filter_by_pc(trace: Trace, pcs: set[int] | list[int], name: str | None = None) -> Trace:
+    """Only the accesses issued by the given PCs."""
+    wanted = np.isin(trace.pcs, np.array(sorted(set(pcs)), dtype=np.uint64))
+    return filter_trace(trace, wanted, name=name or f"{trace.name}|pcs")
+
+
+def filter_by_kind(trace: Trace, kinds: set[AccessKind] | list[AccessKind],
+                   name: str | None = None) -> Trace:
+    """Only accesses of the given kinds (e.g. stores only)."""
+    values = np.array(sorted(int(k) for k in kinds), dtype=np.uint8)
+    return filter_trace(trace, np.isin(trace.kinds, values),
+                        name=name or f"{trace.name}|kinds")
+
+
+def filter_by_address_range(trace: Trace, low: int, high: int,
+                            name: str | None = None) -> Trace:
+    """Only accesses with ``low <= addr < high`` (one array's traffic)."""
+    if high <= low:
+        raise TraceError(f"empty address range [{low:#x}, {high:#x})")
+    addrs = trace.addrs
+    keep = (addrs >= np.uint64(low)) & (addrs < np.uint64(high))
+    return filter_trace(trace, keep, name=name or f"{trace.name}|range")
+
+
+def downsample(trace: Trace, step: int, name: str | None = None) -> Trace:
+    """Every ``step``-th access (systematic sampling, gaps folded)."""
+    if step < 1:
+        raise TraceError(f"step must be >= 1, got {step}")
+    keep = np.zeros(len(trace), dtype=bool)
+    keep[::step] = True
+    return filter_trace(trace, keep, name=name or f"{trace.name}|/{step}")
+
+
+def rebase_addresses(trace: Trace, offset: int, name: str | None = None) -> Trace:
+    """Shift every address by ``offset`` bytes (wrapping at 2^64)."""
+    records = trace.records.copy()
+    records["addr"] = records["addr"] + np.uint64(offset % (1 << 64))
+    return Trace(records, name=name or f"{trace.name}|rebased", info=trace.info)
+
+
+def remap_pcs(trace: Trace, mapping: Callable[[int], int],
+              name: str | None = None) -> Trace:
+    """Apply a PC-to-PC function (e.g. anonymization) to every record."""
+    records = trace.records.copy()
+    unique = np.unique(records["pc"])
+    table = {int(pc): int(mapping(int(pc))) & ((1 << 64) - 1) for pc in unique}
+    records["pc"] = np.array([table[int(pc)] for pc in records["pc"]],
+                             dtype=np.uint64)
+    return Trace(records, name=name or f"{trace.name}|remapped", info=trace.info)
+
+
+def split_by_pc(trace: Trace) -> dict[int, Trace]:
+    """One sub-trace per PC — the per-code-site decomposition used by
+    the PC-characterization analyses."""
+    out: dict[int, Trace] = {}
+    for pc in np.unique(trace.pcs).tolist():
+        out[int(pc)] = filter_by_pc(trace, [int(pc)],
+                                    name=f"{trace.name}|pc={int(pc):#x}")
+    return out

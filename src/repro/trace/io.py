@@ -1,0 +1,69 @@
+"""Trace persistence.
+
+Traces are stored as ``.npz`` archives holding the structured record array
+plus a small JSON metadata blob. The format is versioned so that future
+layout changes fail loudly instead of silently mis-decoding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from .record import TRACE_DTYPE
+from .trace import Trace
+
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing).
+
+    Returns the path actually written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "info": trace.info,
+    }
+    with open(path, "wb") as f:
+        np.savez_compressed(
+            f,
+            records=trace.records,
+            meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        )
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            if "records" not in data or "meta" not in data:
+                raise TraceFormatError(f"{path}: not a repro trace file")
+            records = data["records"]
+            meta_bytes = bytes(data["meta"].tobytes())
+    except (OSError, ValueError) as exc:
+        raise TraceFormatError(f"{path}: cannot read trace file: {exc}") from exc
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"{path}: corrupt metadata: {exc}") from exc
+    version = meta.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}: unsupported trace format version {version} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    if records.dtype != TRACE_DTYPE:
+        raise TraceFormatError(
+            f"{path}: record dtype {records.dtype} does not match TRACE_DTYPE"
+        )
+    return Trace(records, name=meta.get("name", path.stem), info=meta.get("info"))

@@ -1,0 +1,89 @@
+"""Memory-access trace records.
+
+A trace is a sequence of dynamic memory accesses, each annotated with the
+program counter (PC) of the instruction that issued it, the access kind,
+and the number of instructions retired since the previous memory access
+(the *gap*). The gap stream is what lets the simulator recover the total
+instruction count — and therefore MPKI and IPC — without storing every
+non-memory instruction.
+
+The on-disk and in-memory representation is a numpy structured array with
+dtype :data:`TRACE_DTYPE`; the simulator hot loop reads the component
+arrays directly, while user-facing code goes through
+:class:`repro.trace.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+import numpy as np
+
+#: Structured dtype of one trace record.
+TRACE_DTYPE = np.dtype(
+    [
+        ("addr", np.uint64),  # byte address of the access
+        ("pc", np.uint64),  # program counter of the issuing instruction
+        ("kind", np.uint8),  # AccessKind value
+        ("gap", np.uint32),  # instructions retired since previous access (>= 1)
+    ]
+)
+
+
+class AccessKind(enum.IntEnum):
+    """Kind of a memory access, mirroring ChampSim's access types."""
+
+    LOAD = 0
+    STORE = 1
+    IFETCH = 2
+    PREFETCH = 3
+    WRITEBACK = 4
+
+    @property
+    def is_write(self) -> bool:
+        """Whether the access modifies memory (stores and writebacks)."""
+        return self in (AccessKind.STORE, AccessKind.WRITEBACK)
+
+
+class Access(NamedTuple):
+    """One decoded trace record.
+
+    This is the convenience view used at API boundaries; the simulator core
+    reads the raw structured array for speed.
+    """
+
+    addr: int
+    pc: int
+    kind: AccessKind
+    gap: int
+
+    @property
+    def is_write(self) -> bool:
+        """Whether the access modifies memory."""
+        return AccessKind(self.kind).is_write
+
+
+def make_records(
+    addrs: np.ndarray,
+    pcs: np.ndarray,
+    kinds: np.ndarray,
+    gaps: np.ndarray,
+) -> np.ndarray:
+    """Assemble component arrays into a structured record array.
+
+    All four arrays must have the same length; values are cast to the
+    field dtypes of :data:`TRACE_DTYPE`.
+    """
+    n = len(addrs)
+    if not (len(pcs) == len(kinds) == len(gaps) == n):
+        raise ValueError(
+            "component arrays must have equal length: "
+            f"addrs={len(addrs)} pcs={len(pcs)} kinds={len(kinds)} gaps={len(gaps)}"
+        )
+    records = np.empty(n, dtype=TRACE_DTYPE)
+    records["addr"] = addrs
+    records["pc"] = pcs
+    records["kind"] = kinds
+    records["gap"] = gaps
+    return records

@@ -1,0 +1,111 @@
+"""Descriptive statistics over traces.
+
+These are the trace-level (pre-simulation) characterization numbers the
+paper uses to explain *why* PC-correlating replacement policies fail on
+graph workloads: how many distinct PCs a workload has, how many distinct
+addresses each PC touches, and how the access mix is composed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .record import AccessKind
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one trace.
+
+    Attributes
+    ----------
+    num_accesses / num_instructions:
+        Raw sizes.
+    load_fraction / store_fraction / ifetch_fraction:
+        Access-mix composition (fractions of all accesses).
+    footprint_blocks:
+        Distinct 64-byte blocks touched.
+    num_pcs:
+        Distinct program counters issuing accesses.
+    mean_blocks_per_pc / max_blocks_per_pc:
+        Address-cardinality per PC — the paper's key characterization
+        metric (GAP kernels: few PCs, each with a huge footprint).
+    pc_entropy_bits:
+        Shannon entropy of the PC distribution, in bits.
+    accesses_per_kilo_instruction:
+        Memory intensity (APKI).
+    """
+
+    num_accesses: int
+    num_instructions: int
+    load_fraction: float
+    store_fraction: float
+    ifetch_fraction: float
+    footprint_blocks: int
+    num_pcs: int
+    mean_blocks_per_pc: float
+    max_blocks_per_pc: int
+    pc_entropy_bits: float
+    accesses_per_kilo_instruction: float
+    blocks_per_pc: dict[int, int] = field(repr=False, default_factory=dict)
+
+
+def compute_trace_stats(trace: Trace, block_bits: int = 6) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``.
+
+    ``block_bits`` selects the block granularity used for footprint and
+    per-PC cardinality (default 64-byte blocks, matching the simulator).
+    """
+    n = len(trace)
+    if n == 0:
+        return TraceStats(0, 0, 0.0, 0.0, 0.0, 0, 0, 0.0, 0, 0.0, 0.0)
+
+    kinds = trace.kinds
+    load_frac = float(np.count_nonzero(kinds == AccessKind.LOAD) / n)
+    store_frac = float(np.count_nonzero(kinds == AccessKind.STORE) / n)
+    ifetch_frac = float(np.count_nonzero(kinds == AccessKind.IFETCH) / n)
+
+    blocks = trace.block_addrs(block_bits)
+    footprint = int(np.unique(blocks).size)
+
+    pcs = trace.pcs
+    unique_pcs, pc_counts = np.unique(pcs, return_counts=True)
+    probs = pc_counts / n
+    entropy = float(-(probs * np.log2(probs)).sum())
+
+    # Distinct blocks per PC: sort (pc, block) pairs and count unique pairs
+    # per PC group. Vectorized to stay fast on multi-million-access traces.
+    order = np.lexsort((blocks, pcs))
+    sorted_pcs = pcs[order]
+    sorted_blocks = blocks[order]
+    new_pair = np.empty(n, dtype=bool)
+    new_pair[0] = True
+    new_pair[1:] = (sorted_pcs[1:] != sorted_pcs[:-1]) | (
+        sorted_blocks[1:] != sorted_blocks[:-1]
+    )
+    pair_pcs = sorted_pcs[new_pair]
+    per_pc_unique: dict[int, int] = {}
+    pcs_of_pairs, counts_of_pairs = np.unique(pair_pcs, return_counts=True)
+    for pc, count in zip(pcs_of_pairs.tolist(), counts_of_pairs.tolist()):
+        per_pc_unique[int(pc)] = int(count)
+
+    blocks_per_pc = np.array(list(per_pc_unique.values()), dtype=np.int64)
+    instructions = trace.num_instructions
+
+    return TraceStats(
+        num_accesses=n,
+        num_instructions=instructions,
+        load_fraction=load_frac,
+        store_fraction=store_frac,
+        ifetch_fraction=ifetch_frac,
+        footprint_blocks=footprint,
+        num_pcs=int(unique_pcs.size),
+        mean_blocks_per_pc=float(blocks_per_pc.mean()),
+        max_blocks_per_pc=int(blocks_per_pc.max()),
+        pc_entropy_bits=entropy,
+        accesses_per_kilo_instruction=1000.0 * n / instructions,
+        blocks_per_pc=per_pc_unique,
+    )

@@ -1,0 +1,229 @@
+"""Synthetic access-pattern primitives.
+
+These generators produce the canonical memory-access structures of
+CPU workloads — streaming scans, strided walks, resident working-set
+loops, pointer chases, Zipf-skewed reuse — and combinators to mix them.
+The SPEC proxy suite (:mod:`repro.spec`) composes these primitives into
+named per-benchmark presets; tests use them directly as controlled
+stimuli for caches and policies.
+
+All generators are deterministic given a seed and return a
+:class:`~repro.trace.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .record import AccessKind
+from .trace import Trace
+
+#: Default spacing between synthetic "code regions"; each logical stream
+#: gets its own PC so PC-correlating policies see realistic signatures.
+_PC_BASE = 0x400000
+_PC_STRIDE = 0x40
+
+
+def _make_trace(
+    addrs: np.ndarray,
+    pcs: np.ndarray,
+    name: str,
+    store_fraction: float = 0.0,
+    gap: int = 4,
+    seed: int = 0,
+    info: dict | None = None,
+) -> Trace:
+    n = len(addrs)
+    kinds = np.full(n, int(AccessKind.LOAD), dtype=np.uint8)
+    if store_fraction > 0.0:
+        rng = np.random.default_rng(seed ^ 0x5EED)
+        kinds[rng.random(n) < store_fraction] = int(AccessKind.STORE)
+    gaps = np.full(n, gap, dtype=np.uint32)
+    return Trace.from_arrays(addrs, pcs, kinds, gaps, name=name, info=info)
+
+
+def streaming(
+    num_accesses: int,
+    *,
+    stride: int = 64,
+    base: int = 0x10000000,
+    pc: int = _PC_BASE,
+    store_fraction: float = 0.0,
+    gap: int = 4,
+) -> Trace:
+    """A pure sequential stream: no temporal reuse at all.
+
+    Models the scan phases of streaming benchmarks (e.g. STREAM-like
+    kernels, `libquantum`-style walks).
+    """
+    if num_accesses <= 0:
+        raise WorkloadError("num_accesses must be positive")
+    addrs = (base + stride * np.arange(num_accesses, dtype=np.uint64)).astype(np.uint64)
+    pcs = np.full(num_accesses, pc, dtype=np.uint64)
+    return _make_trace(addrs, pcs, "synthetic.streaming", store_fraction, gap)
+
+
+def strided(
+    num_accesses: int,
+    *,
+    stride: int,
+    elements: int,
+    base: int = 0x20000000,
+    pc: int = _PC_BASE + _PC_STRIDE,
+    gap: int = 4,
+) -> Trace:
+    """A strided walk that wraps around ``elements`` slots.
+
+    With ``elements * stride`` larger than a cache, this defeats LRU (the
+    classic cyclic-reuse pattern RRIP was designed for); smaller, it is
+    cache-resident.
+    """
+    if stride <= 0 or elements <= 0:
+        raise WorkloadError("stride and elements must be positive")
+    idx = np.arange(num_accesses, dtype=np.uint64) % np.uint64(elements)
+    addrs = (np.uint64(base) + idx * np.uint64(stride)).astype(np.uint64)
+    pcs = np.full(num_accesses, pc, dtype=np.uint64)
+    return _make_trace(addrs, pcs, "synthetic.strided", gap=gap)
+
+
+def working_set_loop(
+    num_accesses: int,
+    *,
+    set_bytes: int,
+    base: int = 0x30000000,
+    num_pcs: int = 8,
+    seed: int = 1,
+    store_fraction: float = 0.1,
+    gap: int = 5,
+) -> Trace:
+    """Random accesses confined to a fixed working set.
+
+    When ``set_bytes`` fits in a cache level this produces near-perfect
+    hits there; sized between two levels, it isolates that boundary.
+    Multiple PCs index disjoint halves so PC-based predictors can learn.
+    """
+    if set_bytes < 64:
+        raise WorkloadError("set_bytes must be at least one block (64)")
+    rng = np.random.default_rng(seed)
+    num_blocks = max(1, set_bytes // 64)
+    block_idx = rng.integers(0, num_blocks, size=num_accesses, dtype=np.uint64)
+    addrs = (np.uint64(base) + block_idx * np.uint64(64)).astype(np.uint64)
+    # Each PC is biased to its own region of the working set, giving the
+    # PC→address correlation that signature-based policies exploit.
+    pc_ids = (block_idx * np.uint64(num_pcs)) // np.uint64(num_blocks)
+    pcs = (np.uint64(_PC_BASE) + pc_ids * np.uint64(_PC_STRIDE)).astype(np.uint64)
+    return _make_trace(addrs, pcs, "synthetic.working_set", store_fraction, gap, seed)
+
+
+def pointer_chase(
+    num_accesses: int,
+    *,
+    num_nodes: int,
+    base: int = 0x40000000,
+    node_bytes: int = 64,
+    pc: int = _PC_BASE + 2 * _PC_STRIDE,
+    seed: int = 2,
+    gap: int = 8,
+) -> Trace:
+    """A serial pointer chase through a random permutation cycle.
+
+    Models linked-data-structure traversal (`mcf`-style): one load per
+    node, no spatial locality, reuse distance equal to the structure size.
+    """
+    if num_nodes < 2:
+        raise WorkloadError("num_nodes must be at least 2")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(num_nodes)
+    # Walk the permutation cycle starting at perm[0].
+    order = np.empty(num_accesses, dtype=np.uint64)
+    node = 0
+    for i in range(num_accesses):
+        order[i] = node
+        node = perm[node]
+    addrs = (np.uint64(base) + order * np.uint64(node_bytes)).astype(np.uint64)
+    pcs = np.full(num_accesses, pc, dtype=np.uint64)
+    return _make_trace(addrs, pcs, "synthetic.pointer_chase", gap=gap)
+
+
+def zipf_reuse(
+    num_accesses: int,
+    *,
+    num_blocks: int,
+    skew: float = 0.8,
+    base: int = 0x50000000,
+    num_pcs: int = 16,
+    seed: int = 3,
+    store_fraction: float = 0.05,
+    gap: int = 4,
+) -> Trace:
+    """Zipf-skewed accesses: a hot subset plus a heavy cold tail.
+
+    Models the frequency-skewed reuse of data-center / big-data codes;
+    a good policy protects the hot head and bypasses the tail.
+    """
+    if num_blocks < 2:
+        raise WorkloadError("num_blocks must be at least 2")
+    if skew <= 0:
+        raise WorkloadError("skew must be positive")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_blocks + 1, dtype=np.float64)
+    weights = ranks**-skew
+    weights /= weights.sum()
+    block_idx = rng.choice(num_blocks, size=num_accesses, p=weights).astype(np.uint64)
+    addrs = (np.uint64(base) + block_idx * np.uint64(64)).astype(np.uint64)
+    pc_ids = block_idx % np.uint64(num_pcs)
+    pcs = (np.uint64(_PC_BASE) + pc_ids * np.uint64(_PC_STRIDE)).astype(np.uint64)
+    return _make_trace(addrs, pcs, "synthetic.zipf", store_fraction, gap, seed)
+
+
+def random_uniform(
+    num_accesses: int,
+    *,
+    footprint_bytes: int,
+    base: int = 0x60000000,
+    pc: int = _PC_BASE + 3 * _PC_STRIDE,
+    seed: int = 4,
+    gap: int = 4,
+) -> Trace:
+    """Uniformly random accesses over a large footprint — worst case.
+
+    With a footprint far above LLC capacity this approximates the
+    irregular property-array indexing of graph kernels: no policy can do
+    better than the ratio of cache size to footprint.
+    """
+    num_blocks = max(1, footprint_bytes // 64)
+    rng = np.random.default_rng(seed)
+    block_idx = rng.integers(0, num_blocks, size=num_accesses, dtype=np.uint64)
+    addrs = (np.uint64(base) + block_idx * np.uint64(64)).astype(np.uint64)
+    pcs = np.full(num_accesses, pc, dtype=np.uint64)
+    return _make_trace(addrs, pcs, "synthetic.random", gap=gap, seed=seed)
+
+
+def interleave(traces: list[Trace], *, pattern: list[int] | None = None, name: str = "synthetic.mix") -> Trace:
+    """Round-robin interleave several traces into one mixed stream.
+
+    ``pattern`` gives the number of consecutive accesses taken from each
+    trace per round (default: one from each). Interleaving stops when any
+    component is exhausted, keeping phase proportions exact.
+    """
+    if not traces:
+        raise WorkloadError("interleave needs at least one trace")
+    if pattern is None:
+        pattern = [1] * len(traces)
+    if len(pattern) != len(traces) or any(p <= 0 for p in pattern):
+        raise WorkloadError("pattern must give a positive count per trace")
+    rounds = min(len(t) // p for t, p in zip(traces, pattern))
+    if rounds == 0:
+        raise WorkloadError("traces too short for the requested pattern")
+    pieces = []
+    for t, p in zip(traces, pattern):
+        # reshape into (rounds, p) chunks
+        pieces.append(t.records[: rounds * p].reshape(rounds, p))
+    stacked = np.concatenate(pieces, axis=1).reshape(-1)
+    return Trace(stacked.copy(), name=name, info={"parts": [t.name for t in traces]})
+
+
+def phased(traces: list[Trace], name: str = "synthetic.phased") -> Trace:
+    """Concatenate traces as sequential program phases."""
+    return Trace.concat(traces, name=name)

@@ -1,0 +1,161 @@
+"""The :class:`Trace` container.
+
+A :class:`Trace` owns an immutable structured array of access records plus
+human-facing metadata (a name and a free-form ``info`` dict recording, for
+example, the graph parameters a GAP kernel ran on). Traces support
+slicing, concatenation, and cheap component-array access for the
+simulator hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from ..errors import TraceError
+from .record import TRACE_DTYPE, Access, AccessKind, make_records
+
+
+class Trace:
+    """An immutable sequence of memory-access records with metadata.
+
+    Parameters
+    ----------
+    records:
+        Structured array with dtype :data:`~repro.trace.record.TRACE_DTYPE`.
+    name:
+        Short identifier, e.g. ``"gap.bfs.kron14"``.
+    info:
+        Optional metadata mapping (workload parameters, generator seeds).
+    """
+
+    def __init__(
+        self,
+        records: np.ndarray,
+        name: str = "trace",
+        info: Mapping[str, Any] | None = None,
+    ) -> None:
+        if records.dtype != TRACE_DTYPE:
+            raise TraceError(
+                f"records must have TRACE_DTYPE, got {records.dtype}"
+            )
+        if records.ndim != 1:
+            raise TraceError(f"records must be 1-D, got shape {records.shape}")
+        if len(records) and int(records["gap"].min()) < 1:
+            raise TraceError("every record must have gap >= 1")
+        self._records = records
+        self._records.setflags(write=False)
+        self.name = name
+        self.info: dict[str, Any] = dict(info or {})
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        addrs: np.ndarray,
+        pcs: np.ndarray,
+        kinds: np.ndarray,
+        gaps: np.ndarray,
+        name: str = "trace",
+        info: Mapping[str, Any] | None = None,
+    ) -> "Trace":
+        """Build a trace from separate component arrays."""
+        return cls(make_records(addrs, pcs, kinds, gaps), name=name, info=info)
+
+    @classmethod
+    def concat(cls, traces: list["Trace"], name: str | None = None) -> "Trace":
+        """Concatenate several traces into one.
+
+        Metadata from the individual traces is kept under an ``"parts"``
+        info key; gaps are preserved as-is so instruction counts add up.
+        """
+        if not traces:
+            raise TraceError("cannot concatenate an empty list of traces")
+        records = np.concatenate([t.records for t in traces])
+        merged_name = name if name is not None else "+".join(t.name for t in traces)
+        info = {"parts": [t.name for t in traces]}
+        return cls(records, name=merged_name, info=info)
+
+    # -- array access ----------------------------------------------------------
+
+    @property
+    def records(self) -> np.ndarray:
+        """The underlying structured array (read-only)."""
+        return self._records
+
+    @property
+    def addrs(self) -> np.ndarray:
+        """Byte addresses, as a contiguous ``uint64`` array."""
+        return np.ascontiguousarray(self._records["addr"])
+
+    @property
+    def pcs(self) -> np.ndarray:
+        """Program counters, as a contiguous ``uint64`` array."""
+        return np.ascontiguousarray(self._records["pc"])
+
+    @property
+    def kinds(self) -> np.ndarray:
+        """Access kinds, as a contiguous ``uint8`` array."""
+        return np.ascontiguousarray(self._records["kind"])
+
+    @property
+    def gaps(self) -> np.ndarray:
+        """Instruction gaps, as a contiguous ``uint32`` array."""
+        return np.ascontiguousarray(self._records["gap"])
+
+    # -- basic protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Access]:
+        for rec in self._records:
+            yield Access(
+                int(rec["addr"]), int(rec["pc"]), AccessKind(int(rec["kind"])), int(rec["gap"])
+            )
+
+    def __getitem__(self, index: int | slice) -> "Access | Trace":
+        if isinstance(index, slice):
+            return Trace(self._records[index].copy(), name=self.name, info=self.info)
+        rec = self._records[index]
+        return Access(
+            int(rec["addr"]), int(rec["pc"]), AccessKind(int(rec["kind"])), int(rec["gap"])
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, accesses={len(self):,}, "
+            f"instructions={self.num_instructions:,})"
+        )
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def num_accesses(self) -> int:
+        """Number of memory accesses in the trace."""
+        return len(self._records)
+
+    @property
+    def num_instructions(self) -> int:
+        """Total retired instructions represented by the trace."""
+        return int(self._records["gap"].sum())
+
+    def head(self, n: int) -> "Trace":
+        """The first ``n`` accesses as a new trace."""
+        return self[:n]  # type: ignore[return-value]
+
+    def block_addrs(self, block_bits: int = 6) -> np.ndarray:
+        """Addresses truncated to cache-block granularity (default 64 B)."""
+        return self.addrs >> np.uint64(block_bits)
+
+    def footprint_blocks(self, block_bits: int = 6) -> int:
+        """Number of distinct cache blocks touched."""
+        if not len(self):
+            return 0
+        return int(np.unique(self.block_addrs(block_bits)).size)
+
+    def footprint_bytes(self, block_bits: int = 6) -> int:
+        """Approximate footprint in bytes (distinct blocks x block size)."""
+        return self.footprint_blocks(block_bits) << block_bits

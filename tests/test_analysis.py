@@ -1,0 +1,133 @@
+"""Tests for reuse-distance analysis, PC stats, aggregation and tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pcstats import pc_profile
+from repro.analysis.reuse import COLD, reuse_cdf, reuse_distances, reuse_profile
+from repro.analysis.stats import geometric_mean, harmonic_mean, percent_delta
+from repro.analysis.tables import format_table
+
+from conftest import make_trace
+
+
+class TestReuseDistances:
+    def test_known_sequence(self):
+        #  blocks:   a  b  a  c  b  a
+        #  distance: -  -  1  -  2  2
+        blocks = np.array([0, 1, 0, 2, 1, 0], dtype=np.uint64)
+        d = reuse_distances(blocks)
+        assert d.tolist() == [COLD, COLD, 1, COLD, 2, 2]
+
+    def test_immediate_reuse_distance_zero(self):
+        d = reuse_distances(np.array([5, 5, 5], dtype=np.uint64))
+        assert d.tolist() == [COLD, 0, 0]
+
+    def test_all_distinct(self):
+        d = reuse_distances(np.arange(10, dtype=np.uint64))
+        assert all(x == COLD for x in d)
+
+    def test_empty(self):
+        assert len(reuse_distances(np.empty(0, dtype=np.uint64))) == 0
+
+    def test_matches_lru_simulation(self):
+        """dist < C iff the access hits a fully-associative LRU of C blocks."""
+        rng = np.random.default_rng(3)
+        blocks = rng.integers(0, 30, size=500, dtype=np.uint64)
+        d = reuse_distances(blocks)
+        for capacity in (4, 8, 16):
+            # Direct LRU simulation.
+            from collections import OrderedDict
+
+            lru: OrderedDict[int, None] = OrderedDict()
+            hits = 0
+            for b in blocks.tolist():
+                if b in lru:
+                    hits += 1
+                    lru.move_to_end(b)
+                else:
+                    if len(lru) >= capacity:
+                        lru.popitem(last=False)
+                    lru[b] = None
+            predicted = int(np.count_nonzero((d != COLD) & (d < capacity)))
+            assert predicted == hits, f"capacity={capacity}"
+
+
+class TestReuseProfile:
+    def test_profile_fields(self):
+        t = make_trace([0, 64, 0, 64, 0])
+        profile, distances = reuse_profile(t)
+        assert profile.num_accesses == 5
+        assert profile.cold_fraction == pytest.approx(2 / 5)
+        assert profile.median_distance == 1.0
+
+    def test_cdf_monotone_in_capacity(self):
+        t = make_trace([(i % 37) * 64 for i in range(500)])
+        _, distances = reuse_profile(t)
+        cdf = reuse_cdf(distances, [1, 8, 64, 512])
+        values = list(cdf.values())
+        assert values == sorted(values)
+
+    def test_cdf_counts_cold_as_miss(self):
+        t = make_trace([0, 64, 128])  # all cold
+        _, distances = reuse_profile(t)
+        assert reuse_cdf(distances, [100])[100] == 0.0
+
+
+class TestPCProfile:
+    def test_gap_shape_detected(self):
+        t = make_trace([i * 64 for i in range(200)], pcs=1, name="gap-like")
+        p = pc_profile(t)
+        assert p.num_pcs == 1
+        assert p.footprint_concentration == pytest.approx(1.0)
+
+    def test_spec_shape_detected(self):
+        addrs = [(i % 40) * 64 for i in range(400)]
+        pcs = [(i % 40) // 5 for i in range(400)]
+        p = pc_profile(make_trace(addrs, pcs=pcs, name="spec-like"))
+        assert p.num_pcs == 8
+        assert p.footprint_concentration < 0.2
+
+
+class TestAggregation:
+    def test_geomean_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_identity(self):
+        assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 0.5]) == pytest.approx(2 / 3)
+
+    def test_percent_delta(self):
+        assert percent_delta(1.1, 1.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            percent_delta(1.0, 0.0)
+
+
+class TestTables:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 2.25]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.500" in out and "2.250" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table\n========")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_custom_float_format(self):
+        out = format_table(["v"], [[3.14159]], float_format="{:.1f}")
+        assert "3.1" in out

@@ -1,0 +1,83 @@
+"""Tests for policy hardware-budget accounting (E11)."""
+
+import pytest
+
+from repro.core.config import cascade_lake
+from repro.errors import UnknownPolicyError
+from repro.policies.budget import HardwareBudget, budget_table, estimate_budget
+
+SETS, WAYS = 2048, 11  # the paper's LLC geometry
+
+
+class TestBudgetArithmetic:
+    def test_total_bits(self):
+        b = HardwareBudget("x", per_line_bits=2, table_bits=100,
+                           num_sets=4, num_ways=2)
+        assert b.line_storage_bits == 16
+        assert b.total_bits == 116
+
+    def test_total_kib(self):
+        b = HardwareBudget("x", per_line_bits=0, table_bits=8 * 1024 * 8,
+                           num_sets=1, num_ways=1)
+        assert b.total_kib == pytest.approx(8.0)
+
+    def test_overhead_vs(self):
+        small = HardwareBudget("a", 1, 0, 4, 2)
+        big = HardwareBudget("b", 2, 0, 4, 2)
+        assert big.overhead_vs(small) == pytest.approx(2.0)
+
+
+class TestPolicyBudgets:
+    def test_srrip_is_two_bits_per_line(self):
+        b = estimate_budget("srrip", SETS, WAYS)
+        assert b.per_line_bits == 2.0
+        assert b.table_bits == 0
+
+    def test_ship_includes_shct(self):
+        b = estimate_budget("ship", SETS, WAYS)
+        assert b.table_bits == (1 << 14) * 2
+
+    def test_hawkeye_includes_predictor_and_sampler(self):
+        b = estimate_budget("hawkeye", SETS, WAYS)
+        assert b.table_bits > (1 << 13) * 3  # predictor plus sampler
+
+    def test_learned_policies_cost_more_than_rrip(self):
+        """The paper's complexity claim, mechanically."""
+        srrip = estimate_budget("srrip", SETS, WAYS)
+        for learned in ("ship", "hawkeye", "glider", "mpppb"):
+            budget = estimate_budget(learned, SETS, WAYS)
+            assert budget.overhead_vs(srrip) > 5, learned
+
+    def test_drrip_is_nearly_free_over_srrip(self):
+        srrip = estimate_budget("srrip", SETS, WAYS)
+        drrip = estimate_budget("drrip", SETS, WAYS)
+        assert drrip.overhead_vs(srrip) < 1.01
+
+    def test_paper_llc_geometry_budgets_are_reasonable(self):
+        cfg = cascade_lake()
+        for policy in ("lru", "srrip", "ship", "hawkeye", "glider", "mpppb"):
+            b = estimate_budget(policy, cfg.llc.num_sets, cfg.llc.num_ways)
+            # All within CRC2-style budgets: < 128 KiB of metadata.
+            assert 0 < b.total_kib < 128, policy
+
+    def test_unknown_policy(self):
+        with pytest.raises(UnknownPolicyError):
+            estimate_budget("quantum", SETS, WAYS)
+
+    def test_budget_table_order(self):
+        rows = budget_table(["lru", "ship"], SETS, WAYS)
+        assert [b.policy for b in rows] == ["lru", "ship"]
+
+
+class TestExperimentE11:
+    def test_report_shape(self):
+        from repro.harness.experiments import experiment_hardware_budget
+
+        report = experiment_hardware_budget()
+        assert report.headers[0] == "policy"
+        policies = [row[0] for row in report.rows]
+        assert policies[0] == "lru"
+        assert "hawkeye" in policies
+        # x-LRU column: learned policies multiple times costlier.
+        xlru = {row[0]: row[-1] for row in report.rows}
+        assert xlru["hawkeye"] > 3 * xlru["drrip"]

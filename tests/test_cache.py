@@ -1,0 +1,231 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache
+from repro.policies.basic import LRUPolicy
+from repro.policies.base import BYPASS, PolicyAccess, ReplacementPolicy
+from repro.trace.record import AccessKind
+
+
+def make_cache(size=4096, ways=4, policy=None, **kwargs) -> Cache:
+    return Cache("T", size, ways, policy or LRUPolicy(), **kwargs)
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        c = make_cache(size=4096, ways=4)  # 4096 / (64*4) = 16 sets
+        assert c.num_sets == 16
+        assert c.num_ways == 4
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            make_cache(size=3 * 64 * 4, ways=4)
+
+    def test_rejects_size_not_multiple(self):
+        with pytest.raises(ConfigurationError, match="multiple"):
+            make_cache(size=4000, ways=4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(size=0, ways=4)
+
+    def test_llc_geometry_from_paper(self):
+        """The paper's 1.375 MB 11-way LLC must give 2048 sets."""
+        c = make_cache(size=1408 * 1024, ways=11)
+        assert c.num_sets == 2048
+
+    def test_set_index_uses_low_bits(self):
+        c = make_cache(size=4096, ways=4)
+        assert c.set_index(0) == 0
+        assert c.set_index(17) == 1
+        assert c.set_index(16) == 0
+
+
+class TestHitMiss:
+    def test_first_access_misses(self):
+        c = make_cache()
+        assert not c.access(5, 0, AccessKind.LOAD).hit
+
+    def test_access_after_fill_hits(self):
+        c = make_cache()
+        c.access(5, 0, AccessKind.LOAD)
+        c.fill(5, 0, AccessKind.LOAD)
+        assert c.access(5, 0, AccessKind.LOAD).hit
+
+    def test_contains_and_occupancy(self):
+        c = make_cache()
+        c.fill(5, 0, AccessKind.LOAD)
+        assert c.contains(5)
+        assert not c.contains(6)
+        assert c.occupancy == 1
+
+    def test_invalid_ways_fill_first(self):
+        c = make_cache(size=4 * 64, ways=4)  # 1 set, 4 ways
+        for block in range(4):
+            c.fill(block * c.num_sets, 0, AccessKind.LOAD)
+        assert c.occupancy == 4
+        assert c.stats.evictions == 0
+
+    def test_eviction_when_set_full(self):
+        c = make_cache(size=4 * 64, ways=4)
+        for block in range(5):
+            c.fill(block, 0, AccessKind.LOAD)
+        assert c.occupancy == 4
+        assert c.stats.evictions == 1
+        assert not c.contains(0)  # LRU victim
+
+    def test_lookup_does_not_touch_stats(self):
+        c = make_cache()
+        c.lookup(3)
+        assert c.stats.demand_accesses == 0
+
+
+class TestDirtyState:
+    def test_store_marks_dirty_then_eviction_reports_it(self):
+        c = make_cache(size=2 * 64, ways=2)  # 1 set, 2 ways
+        c.fill(0, 0, AccessKind.STORE)
+        c.fill(1, 0, AccessKind.LOAD)
+        result = c.fill(2, 0, AccessKind.LOAD)  # evicts block 0 (LRU)
+        assert result.victim_block == 0
+        assert result.victim_dirty
+
+    def test_load_fill_is_clean(self):
+        c = make_cache(size=2 * 64, ways=2)
+        c.fill(0, 0, AccessKind.LOAD)
+        c.fill(1, 0, AccessKind.LOAD)
+        result = c.fill(2, 0, AccessKind.LOAD)
+        assert not result.victim_dirty
+
+    def test_store_hit_marks_dirty(self):
+        c = make_cache(size=2 * 64, ways=2)
+        c.fill(0, 0, AccessKind.LOAD)
+        c.access(0, 0, AccessKind.STORE)
+        c.fill(1, 0, AccessKind.LOAD)
+        result = c.fill(2, 0, AccessKind.LOAD)
+        assert result.victim_dirty
+
+    def test_writeback_fill_is_dirty(self):
+        c = make_cache(size=2 * 64, ways=2)
+        c.fill(0, 0, AccessKind.WRITEBACK)
+        c.fill(1, 0, AccessKind.LOAD)
+        result = c.fill(2, 0, AccessKind.LOAD)
+        assert result.victim_dirty
+        assert c.stats.dirty_evictions == 1
+
+
+class TestStats:
+    def test_demand_counters(self):
+        c = make_cache()
+        c.access(0, 0, AccessKind.LOAD)  # miss
+        c.fill(0, 0, AccessKind.LOAD)
+        c.access(0, 0, AccessKind.LOAD)  # hit
+        assert c.stats.demand_accesses == 2
+        assert c.stats.demand_hits == 1
+        assert c.stats.demand_misses == 1
+        assert c.stats.demand_hit_rate == pytest.approx(0.5)
+
+    def test_writebacks_counted_separately(self):
+        c = make_cache()
+        c.access(0, 0, AccessKind.WRITEBACK)
+        assert c.stats.demand_accesses == 0
+        assert c.stats.writeback_accesses == 1
+
+    def test_prefetch_counted_separately(self):
+        c = make_cache()
+        c.access(0, 0, AccessKind.PREFETCH)
+        assert c.stats.demand_accesses == 0
+        assert c.stats.prefetch_accesses == 1
+
+    def test_mpki(self):
+        c = make_cache()
+        c.access(0, 0, AccessKind.LOAD)
+        assert c.stats.mpki(1000) == pytest.approx(1.0)
+        assert c.stats.mpki(0) == 0.0
+
+
+class _AlwaysBypass(ReplacementPolicy):
+    name = "always-bypass"
+    supports_bypass = True
+
+    def find_victim(self, set_index, access, tags):
+        return BYPASS
+
+    def on_hit(self, set_index, way, access):
+        pass
+
+    def on_fill(self, set_index, way, access):
+        pass
+
+
+class TestBypass:
+    def test_bypass_skips_fill(self):
+        c = make_cache(size=2 * 64, ways=2, policy=_AlwaysBypass())
+        c.fill(0, 0, AccessKind.LOAD)
+        c.fill(1, 0, AccessKind.LOAD)
+        result = c.fill(2, 0, AccessKind.LOAD)  # set full -> policy bypasses
+        assert result.bypassed
+        assert not c.contains(2)
+        assert c.stats.bypasses == 1
+
+    def test_bypass_only_when_set_full(self):
+        c = make_cache(size=2 * 64, ways=2, policy=_AlwaysBypass())
+        result = c.fill(0, 0, AccessKind.LOAD)
+        assert not result.bypassed  # invalid way available -> no policy call
+
+
+class TestInvalidate:
+    def test_invalidate_removes_block(self):
+        c = make_cache()
+        c.fill(5, 0, AccessKind.LOAD)
+        assert c.invalidate(5)
+        assert not c.contains(5)
+
+    def test_invalidate_absent_returns_false(self):
+        c = make_cache()
+        assert not c.invalidate(5)
+
+
+class _SpyPolicy(LRUPolicy):
+    name = "spy"
+
+    def __init__(self):
+        super().__init__()
+        self.events = []
+
+    def on_hit(self, set_index, way, access):
+        self.events.append(("hit", access.block))
+        super().on_hit(set_index, way, access)
+
+    def on_fill(self, set_index, way, access):
+        self.events.append(("fill", access.block))
+        super().on_fill(set_index, way, access)
+
+    def on_eviction(self, set_index, way, victim_block):
+        self.events.append(("evict", victim_block))
+
+
+class TestPolicyHooks:
+    def test_hook_sequence(self):
+        spy = _SpyPolicy()
+        c = make_cache(size=2 * 64, ways=2, policy=spy)
+        c.access(0, 0, AccessKind.LOAD)
+        c.fill(0, 0, AccessKind.LOAD)
+        c.access(0, 0, AccessKind.LOAD)
+        c.fill(1, 0, AccessKind.LOAD)
+        c.fill(2, 0, AccessKind.LOAD)  # evicts 0 or 1
+        kinds = [e[0] for e in spy.events]
+        assert kinds == ["fill", "hit", "fill", "evict", "fill"]
+
+    def test_policy_sees_pc(self):
+        class PCSpy(LRUPolicy):
+            seen_pc = None
+
+            def on_fill(self, set_index, way, access):
+                PCSpy.seen_pc = access.pc
+                super().on_fill(set_index, way, access)
+
+        c = make_cache(policy=PCSpy())
+        c.fill(0, 0xDEAD, AccessKind.LOAD)
+        assert PCSpy.seen_pc == 0xDEAD

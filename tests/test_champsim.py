@@ -1,0 +1,114 @@
+"""Tests for ChampSim trace interchange."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.champsim import (
+    CHAMPSIM_DTYPE,
+    FILLER_IP,
+    load_champsim_trace,
+    save_champsim_trace,
+)
+from repro.trace.record import AccessKind
+
+from conftest import make_trace
+
+
+class TestFormat:
+    def test_record_is_64_bytes(self):
+        assert CHAMPSIM_DTYPE.itemsize == 64
+
+
+class TestRoundTrip:
+    def test_loads_and_stores_roundtrip(self, tmp_path):
+        t = make_trace(
+            [0x1000, 0x2000, 0x3000],
+            pcs=[0x400, 0x404, 0x408],
+            kinds=[int(AccessKind.LOAD), int(AccessKind.STORE), int(AccessKind.LOAD)],
+            gaps=[1, 3, 2],
+        )
+        path = save_champsim_trace(t, tmp_path / "t.champsim")
+        loaded = load_champsim_trace(path)
+        assert loaded.addrs.tolist() == t.addrs.tolist()
+        assert loaded.pcs.tolist() == t.pcs.tolist()
+        assert loaded.kinds.tolist() == t.kinds.tolist()
+        assert loaded.gaps.tolist() == t.gaps.tolist()
+
+    def test_instruction_count_preserved(self, tmp_path):
+        t = make_trace([0x1000, 0x2000], gaps=[5, 7])
+        path = save_champsim_trace(t, tmp_path / "t.bin")
+        loaded = load_champsim_trace(path)
+        assert loaded.num_instructions == t.num_instructions
+        assert loaded.info["instructions"] == 12
+
+    def test_file_size_with_gaps(self, tmp_path):
+        t = make_trace([0x1000, 0x2000], gaps=[4, 4])
+        path = save_champsim_trace(t, tmp_path / "t.bin")
+        assert path.stat().st_size == 8 * 64  # 8 instructions x 64 B
+
+    def test_compact_mode(self, tmp_path):
+        t = make_trace([0x1000, 0x2000], gaps=[4, 4])
+        path = save_champsim_trace(t, tmp_path / "t.bin", expand_gaps=False)
+        assert path.stat().st_size == 2 * 64
+        loaded = load_champsim_trace(path)
+        assert loaded.addrs.tolist() == t.addrs.tolist()
+        assert loaded.gaps.tolist() == [1, 1]  # gap info intentionally lost
+
+    def test_writeback_saved_as_store(self, tmp_path):
+        t = make_trace([0x1000], kinds=[int(AccessKind.WRITEBACK)])
+        loaded = load_champsim_trace(save_champsim_trace(t, tmp_path / "t.bin"))
+        assert loaded.kinds.tolist() == [int(AccessKind.STORE)]
+
+
+class TestFillerEncoding:
+    def test_fillers_have_sentinel_ip(self, tmp_path):
+        t = make_trace([0x1000], gaps=[3])
+        path = save_champsim_trace(t, tmp_path / "t.bin")
+        records = np.fromfile(path, dtype=CHAMPSIM_DTYPE)
+        assert records["ip"].tolist()[:2] == [FILLER_IP, FILLER_IP]
+        assert records["ip"][2] == 0x400000
+
+    def test_fillers_have_no_memory_operands(self, tmp_path):
+        t = make_trace([0x1000], gaps=[3])
+        records = np.fromfile(
+            save_champsim_trace(t, tmp_path / "t.bin"), dtype=CHAMPSIM_DTYPE
+        )
+        assert not records["source_memory"][:2].any()
+        assert not records["destination_memory"][:2].any()
+
+
+class TestErrorPaths:
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 100)  # not a multiple of 64
+        with pytest.raises(TraceFormatError, match="64-byte"):
+            load_champsim_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError, match="empty"):
+            load_champsim_trace(path)
+
+    def test_no_memory_operands(self, tmp_path):
+        records = np.zeros(4, dtype=CHAMPSIM_DTYPE)
+        path = tmp_path / "nomem.bin"
+        records.tofile(path)
+        with pytest.raises(TraceFormatError, match="no memory operands"):
+            load_champsim_trace(path)
+
+
+class TestSimulationEquivalence:
+    def test_roundtripped_trace_simulates_identically(self, tmp_path, small_machine):
+        from repro.core.simulator import simulate
+        from repro.trace import synthetic
+
+        t = synthetic.zipf_reuse(3000, num_blocks=400, seed=12)
+        loaded = load_champsim_trace(
+            save_champsim_trace(t, tmp_path / "t.bin"), name=t.name
+        )
+        a = simulate(t, config=small_machine)
+        b = simulate(loaded, config=small_machine)
+        assert a.cycles == b.cycles
+        assert a.levels["LLC"].demand_hits == b.levels["LLC"].demand_hits

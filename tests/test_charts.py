@@ -1,0 +1,70 @@
+"""Tests for the terminal bar-chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import grouped_hbar_chart, hbar_chart
+
+
+class TestHBar:
+    def test_largest_value_gets_full_bar(self):
+        out = hbar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 10
+
+    def test_proportionality(self):
+        out = hbar_chart({"a": 1.0, "b": 2.0}, width=10)
+        a_line, b_line = out.splitlines()
+        assert a_line.count("█") == 5
+        assert b_line.count("█") == 10
+
+    def test_labels_and_values_present(self):
+        out = hbar_chart({"srrip": 1.25}, value_format="{:.2f}")
+        assert "srrip" in out and "1.25" in out
+
+    def test_title(self):
+        out = hbar_chart({"a": 1.0}, title="Figure 3")
+        assert out.startswith("Figure 3\n--------")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hbar_chart({})
+
+    def test_zero_values_render(self):
+        out = hbar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out  # no crash on all-zero scale
+
+
+class TestBaselineMode:
+    def test_above_baseline_grows_right(self):
+        out = hbar_chart({"fast": 1.2, "slow": 0.8}, baseline=1.0, width=20)
+        fast_line, slow_line = out.splitlines()
+        assert fast_line.index("|") < fast_line.index("█")
+        assert slow_line.index("█") < slow_line.index("|")
+
+    def test_at_baseline_has_no_bar(self):
+        out = hbar_chart({"same": 1.0}, baseline=1.0)
+        assert "█" not in out
+
+    def test_bars_capped_at_half_width(self):
+        out = hbar_chart({"huge": 100.0, "tiny": 1.01}, baseline=1.0, width=20)
+        assert max(line.count("█") for line in out.splitlines()) <= 10
+
+
+class TestGrouped:
+    def test_groups_rendered_with_shared_scale(self):
+        out = grouped_hbar_chart(
+            {"bfs": {"L1D": 10.0, "LLC": 5.0}, "pr": {"L1D": 20.0, "LLC": 10.0}},
+            width=10,
+        )
+        lines = [l for l in out.splitlines() if "█" in l]
+        # pr.L1D is the global max -> 10 cells; bfs.L1D -> 5 cells.
+        assert lines[0].count("█") == 5
+        assert lines[2].count("█") == 10
+
+    def test_group_headers(self):
+        out = grouped_hbar_chart({"bfs": {"L1D": 1.0}})
+        assert "bfs:" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_hbar_chart({})

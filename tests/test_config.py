@@ -1,0 +1,80 @@
+"""Tests for machine configuration validation and the paper's Table I."""
+
+import pytest
+
+from repro.core.config import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    cascade_lake,
+    small_test_machine,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_paper_llc_geometry(self):
+        llc = cascade_lake().llc
+        assert llc.size_bytes == 1408 * 1024  # 1.375 MiB
+        assert llc.num_ways == 11
+        assert llc.num_sets == 2048
+
+    def test_paper_l1_and_l2(self):
+        cfg = cascade_lake()
+        assert cfg.l1d.size_bytes == 32 * 1024
+        assert cfg.l1i.size_bytes == 32 * 1024
+        assert cfg.l2.size_bytes == 1024 * 1024
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("X", 1000, 3, hit_latency=1)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            CacheConfig("X", 3 * 64 * 2, 2, hit_latency=1)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("X", 4096, 4, hit_latency=-1)
+
+
+class TestCoreConfig:
+    def test_defaults_are_cascade_lake(self):
+        core = CoreConfig()
+        assert core.rob_size == 224
+        assert core.dispatch_width == 4
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(dispatch_width=0)
+
+    def test_rejects_zero_mshrs(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(max_outstanding_misses=0)
+
+
+class TestMachineConfig:
+    def test_llc_scaling(self):
+        cfg = cascade_lake().with_llc_scale(2)
+        assert cfg.llc.size_bytes == 2 * 1408 * 1024
+        assert cfg.llc.num_ways == 11
+        assert cfg.l2.size_bytes == cascade_lake().l2.size_bytes
+
+    def test_llc_scale_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            cascade_lake().with_llc_scale(0)
+
+    def test_describe_covers_all_components(self):
+        rows = dict(cascade_lake().describe())
+        assert set(rows) == {"Core", "L1I", "L1D", "L2", "LLC", "DRAM"}
+        assert "11-way" in rows["LLC"]
+        assert "2048 sets" in rows["LLC"]
+
+    def test_small_test_machine_valid(self):
+        cfg = small_test_machine()
+        assert cfg.llc.num_sets > 0
+
+    def test_configs_are_frozen(self):
+        cfg = cascade_lake()
+        with pytest.raises(AttributeError):
+            cfg.llc = cfg.l2  # type: ignore[misc]

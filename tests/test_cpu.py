@@ -1,0 +1,81 @@
+"""Tests for the ROB-occupancy core timing model."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.cpu import CoreModel
+from repro.trace.record import AccessKind
+
+LOAD = AccessKind.LOAD
+STORE = AccessKind.STORE
+
+
+def run(steps, **core_kwargs):
+    core = CoreModel(CoreConfig(**core_kwargs))
+    for gap, kind, latency in steps:
+        core.step(gap, kind, latency)
+    return core.drain()
+
+
+class TestBaseline:
+    def test_ipc_capped_by_width(self):
+        stats = run([(4, LOAD, 0)] * 100, dispatch_width=4)
+        assert stats.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_instructions_counted(self):
+        stats = run([(3, LOAD, 1)] * 10)
+        assert stats.instructions == 30
+
+    def test_zero_steps(self):
+        stats = run([])
+        assert stats.instructions == 0
+        assert stats.cycles == 0.0
+        assert stats.ipc == 0.0
+
+
+class TestLatencyHiding:
+    def test_short_latencies_fully_hidden(self):
+        """L1-hit latencies are absorbed by the ROB."""
+        fast = run([(4, LOAD, 4)] * 200, rob_size=128)
+        assert fast.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_long_latencies_stall(self):
+        # Generous MSHRs so the ROB is the binding limit.
+        slow = run([(4, LOAD, 400)] * 200, rob_size=128, max_outstanding_misses=64)
+        fast = run([(4, LOAD, 4)] * 200, rob_size=128, max_outstanding_misses=64)
+        assert slow.ipc < fast.ipc / 2
+        assert slow.rob_stall_cycles > 0
+
+    def test_mlp_overlaps_independent_misses(self):
+        """With a big ROB, k misses in the window overlap: IPC scales up."""
+        big_rob = run([(8, LOAD, 300)] * 200, rob_size=256, max_outstanding_misses=16)
+        tiny_rob = run([(8, LOAD, 300)] * 200, rob_size=8, max_outstanding_misses=16)
+        assert big_rob.ipc > 2 * tiny_rob.ipc
+
+    def test_mshr_limit_caps_overlap(self):
+        many_mshr = run([(4, LOAD, 300)] * 200, rob_size=512, max_outstanding_misses=32)
+        few_mshr = run([(4, LOAD, 300)] * 200, rob_size=512, max_outstanding_misses=2)
+        assert many_mshr.ipc > few_mshr.ipc
+        assert few_mshr.mshr_stall_cycles > 0
+
+
+class TestStores:
+    def test_stores_do_not_stall(self):
+        stores = run([(4, STORE, 400)] * 200)
+        assert stores.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_store_latency_not_counted_in_load_stats(self):
+        stats = run([(4, STORE, 400)] * 10)
+        assert stats.load_accesses == 0
+
+
+class TestStats:
+    def test_mean_load_latency(self):
+        stats = run([(4, LOAD, 100), (4, LOAD, 200)])
+        assert stats.mean_load_latency == pytest.approx(150.0)
+
+    def test_drain_waits_for_inflight(self):
+        core = CoreModel(CoreConfig())
+        core.step(1, LOAD, 10_000)
+        stats = core.drain()
+        assert stats.cycles >= 10_000

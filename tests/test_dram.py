@@ -1,0 +1,104 @@
+"""Tests for the DDR4 bank/row timing model."""
+
+import pytest
+
+from repro.mem.dram import DRAM, DRAMConfig
+
+
+def cfg(**kwargs) -> DRAMConfig:
+    return DRAMConfig(**kwargs)
+
+
+class TestLatencies:
+    def test_latency_ordering(self):
+        c = cfg()
+        assert c.row_hit_latency < c.row_closed_latency < c.row_conflict_latency
+
+    def test_first_access_is_row_closed(self):
+        d = DRAM(cfg())
+        latency = d.read(0, cycle=0)
+        assert latency == d.config.row_closed_latency
+        assert d.stats.row_closed == 1
+
+    def test_same_row_hits(self):
+        d = DRAM(cfg())
+        d.read(0, cycle=0)
+        latency = d.read(64, cycle=10_000)  # same 8 KiB row
+        assert latency == d.config.row_hit_latency
+        assert d.stats.row_hits == 1
+
+    def test_different_row_same_bank_conflicts(self):
+        d = DRAM(cfg())
+        banks = d.config.banks_per_channel * d.config.channels
+        row_bytes = d.config.row_bytes
+        d.read(0, cycle=0)
+        # Row `banks` maps to bank 0 again but is a different row.
+        latency = d.read(banks * row_bytes, cycle=10_000)
+        assert latency == d.config.row_conflict_latency
+        assert d.stats.row_conflicts == 1
+
+
+class TestBankQueueing:
+    def test_back_to_back_requests_queue(self):
+        d = DRAM(cfg())
+        first = d.read(0, cycle=0)
+        # Second request to the same bank issued while the first is busy.
+        second = d.read(64, cycle=0)
+        assert second == first + d.config.row_hit_latency
+
+    def test_disjoint_banks_do_not_queue(self):
+        d = DRAM(cfg())
+        d.read(0, cycle=0)
+        latency = d.read(d.config.row_bytes, cycle=0)  # next bank
+        assert latency == d.config.row_closed_latency
+
+    def test_late_request_sees_free_bank(self):
+        d = DRAM(cfg())
+        d.read(0, cycle=0)
+        latency = d.read(64, cycle=1_000_000)
+        assert latency == d.config.row_hit_latency
+
+
+class TestStats:
+    def test_reads_and_writes_counted(self):
+        d = DRAM(cfg())
+        d.read(0, 0)
+        d.write(64, 0)
+        assert d.stats.reads == 1
+        assert d.stats.writes == 1
+        assert d.stats.accesses == 2
+
+    def test_row_hit_rate(self):
+        d = DRAM(cfg())
+        d.read(0, 0)
+        d.read(64, 100_000)
+        assert d.stats.row_hit_rate == pytest.approx(0.5)
+
+    def test_mean_read_latency(self):
+        d = DRAM(cfg())
+        d.read(0, 0)
+        assert d.stats.mean_read_latency == d.config.row_closed_latency
+
+    def test_writes_do_not_affect_read_latency_stat(self):
+        d = DRAM(cfg())
+        d.read(0, 0)
+        before = d.stats.mean_read_latency
+        d.write(1 << 20, 0)
+        assert d.stats.mean_read_latency == before
+
+
+class TestStreamBehaviour:
+    def test_sequential_stream_mostly_row_hits(self):
+        d = DRAM(cfg())
+        for i in range(128):
+            d.read(i * 64, cycle=i * 10_000)
+        assert d.stats.row_hit_rate > 0.9
+
+    def test_random_stream_mostly_misses(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        d = DRAM(cfg())
+        for i in range(256):
+            d.read(int(rng.integers(0, 1 << 30)) & ~63, cycle=i * 10_000)
+        assert d.stats.row_hit_rate < 0.2

@@ -1,0 +1,147 @@
+"""Edge-case and robustness tests across the policy/cache surface."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulator import build_hierarchy, simulate
+from repro.mem.cache import Cache
+from repro.policies.base import BYPASS
+from repro.policies.registry import available_policies, make_policy
+from repro.trace import synthetic
+from repro.trace.record import AccessKind
+
+from conftest import make_trace
+from test_hierarchy import tiny_config
+
+LOAD = AccessKind.LOAD
+WB = AccessKind.WRITEBACK
+IFETCH = AccessKind.IFETCH
+
+#: Policies that work at any associativity (plru needs powers of two).
+GENERAL_POLICIES = [p for p in available_policies() if p != "plru"]
+
+
+class TestDirectMapped:
+    @pytest.mark.parametrize("policy", GENERAL_POLICIES)
+    def test_direct_mapped_cache_works(self, policy):
+        """ways=1: every conflict must evict the single resident line."""
+        cache = Cache("DM", 8 * 64, 1, make_policy(policy))
+        for block in [0, 8, 0, 8, 1, 9]:
+            result = cache.access(block, 0x40, LOAD)
+            if not result.hit:
+                cache.fill(block, 0x40, LOAD)
+        assert cache.occupancy <= 8
+
+    @pytest.mark.parametrize("policy", GENERAL_POLICIES)
+    def test_victim_in_range_when_full(self, policy):
+        cache = Cache("DM", 2 * 64, 1, make_policy(policy))
+        cache.fill(0, 0x40, LOAD)
+        cache.fill(2, 0x40, LOAD)
+        instance = cache.policy
+        from repro.policies.base import PolicyAccess
+
+        victim = instance.find_victim(0, PolicyAccess(4, 0x40, LOAD), [0])
+        assert victim == 0 or (victim == BYPASS and instance.supports_bypass)
+
+
+class TestWritebackRobustness:
+    @pytest.mark.parametrize("policy", GENERAL_POLICIES)
+    def test_policies_accept_pc_zero_writebacks(self, policy):
+        """Writebacks carry pc=0; no policy may crash or corrupt state."""
+        cache = Cache("T", 4 * 64, 4, make_policy(policy))
+        for i in range(12):
+            block = i % 6
+            result = cache.access(block, 0, WB)
+            if not result.hit:
+                cache.fill(block, 0, WB)
+        assert cache.occupancy <= 4
+
+    @pytest.mark.parametrize("policy", GENERAL_POLICIES)
+    def test_mixed_demand_and_writeback_stream(self, policy):
+        cache = Cache("T", 4 * 64, 4, make_policy(policy))
+        rng = np.random.default_rng(3)
+        for _ in range(300):
+            block = int(rng.integers(0, 12))
+            kind = WB if rng.random() < 0.3 else LOAD
+            pc = 0 if kind == WB else 0x400 + block * 4
+            if not cache.access(block, pc, kind).hit:
+                cache.fill(block, pc, kind)
+        stats = cache.stats
+        assert stats.demand_accesses + stats.writeback_accesses == 300
+
+
+class TestIFetchPath:
+    def test_trace_with_ifetches_simulates(self):
+        n = 3000
+        rng = np.random.default_rng(4)
+        kinds = np.where(rng.random(n) < 0.3, IFETCH, LOAD).astype(np.uint8)
+        addrs = (rng.integers(0, 512, n) * 64).astype(np.uint64)
+        t = make_trace(addrs.tolist(), kinds=kinds.tolist())
+        result = simulate(t, config=tiny_config())
+        assert result.levels["L1I"].demand_accesses > 0
+        assert result.levels["L1D"].demand_accesses > 0
+        total = (
+            result.levels["L1I"].demand_accesses
+            + result.levels["L1D"].demand_accesses
+        )
+        assert total == int(n * 0.8)  # measurement window after warmup
+
+
+class TestBypassingLLCInHierarchy:
+    def test_mpppb_bypass_with_prefetcher(self):
+        from repro.mem.prefetcher import NextLinePrefetcher
+
+        h = build_hierarchy(tiny_config(), "mpppb", NextLinePrefetcher(degree=1))
+        for i in range(500):
+            h.access(i * 64, 0x40, LOAD, i * 100)
+        # No crash, stats consistent.
+        assert h.llc.stats.demand_accesses > 0
+
+    def test_bypassed_writeback_reaches_dram(self):
+        """If the LLC policy bypassed a writeback fill, data must not be
+        lost — the hierarchy forwards it to DRAM."""
+        from repro.policies.base import PolicyAccess, ReplacementPolicy
+
+        class BypassAll(ReplacementPolicy):
+            name = "bypass-all"
+            supports_bypass = True
+
+            def find_victim(self, set_index, access, tags):
+                return BYPASS
+
+            def on_hit(self, set_index, way, access):
+                pass
+
+            def on_fill(self, set_index, way, access):
+                pass
+
+        h = build_hierarchy(tiny_config(), BypassAll())
+        # Fill the LLC set with invalid-way fills first is impossible
+        # (bypass only applies when full); drive enough dirty traffic.
+        writes_before = h.dram.stats.writes
+        for i in range(200):
+            h.access(i * 64, 0x40, AccessKind.STORE, i * 100)
+        assert h.dram.stats.writes >= writes_before
+
+
+class TestTinyTraces:
+    @pytest.mark.parametrize("policy", ["lru", "srrip", "hawkeye", "mpppb"])
+    def test_single_access_trace(self, policy):
+        t = make_trace([64])
+        result = simulate(t, config=tiny_config(), llc_policy=policy,
+                          warmup_fraction=0.0)
+        assert result.instructions == 1
+
+    def test_two_access_trace_with_warmup(self):
+        t = make_trace([64, 64])
+        result = simulate(t, config=tiny_config(), warmup_fraction=0.5)
+        assert result.levels["L1D"].demand_accesses == 1
+
+
+class TestLargeAddresses:
+    def test_full_64_bit_addresses(self):
+        """Addresses near 2^63 must not overflow set indexing."""
+        base = (1 << 62) + 0x123400
+        t = make_trace([base + i * 64 for i in range(100)])
+        result = simulate(t, config=tiny_config(), warmup_fraction=0.0)
+        assert result.levels["L1D"].demand_accesses == 100

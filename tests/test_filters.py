@@ -1,0 +1,132 @@
+"""Tests for trace transformation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.filters import (
+    downsample,
+    filter_by_address_range,
+    filter_by_kind,
+    filter_by_pc,
+    filter_trace,
+    rebase_addresses,
+    remap_pcs,
+    split_by_pc,
+)
+from repro.trace.record import AccessKind
+
+from conftest import make_trace
+
+
+class TestFilterTrace:
+    def test_keeps_masked_accesses(self):
+        t = make_trace([0, 64, 128, 192])
+        out = filter_trace(t, np.array([True, False, True, False]))
+        assert out.addrs.tolist() == [0, 128]
+
+    def test_gaps_fold_forward(self):
+        t = make_trace([0, 64, 128], gaps=[2, 3, 4])
+        out = filter_trace(t, np.array([True, False, True]))
+        # dropped access's 3 instructions fold into the next kept one
+        assert out.gaps.tolist() == [2, 7]
+        assert out.num_instructions == 9
+
+    def test_leading_drop_folds_into_first_kept(self):
+        t = make_trace([0, 64], gaps=[5, 1])
+        out = filter_trace(t, np.array([False, True]))
+        assert out.gaps.tolist() == [6]
+
+    def test_trailing_drop_discarded(self):
+        t = make_trace([0, 64], gaps=[1, 9])
+        out = filter_trace(t, np.array([True, False]))
+        assert out.num_instructions == 1
+
+    def test_wrong_mask_length(self):
+        with pytest.raises(TraceError, match="mask length"):
+            filter_trace(make_trace([0]), np.array([True, False]))
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(TraceError, match="every access"):
+            filter_trace(make_trace([0]), np.array([False]))
+
+    def test_name_suffix(self):
+        out = filter_trace(make_trace([0], name="t"), np.array([True]))
+        assert "filtered" in out.name
+
+
+class TestSelectors:
+    def test_filter_by_pc(self):
+        t = make_trace([0, 64, 128], pcs=[1, 2, 1])
+        out = filter_by_pc(t, [1])
+        assert out.addrs.tolist() == [0, 128]
+        assert set(out.pcs.tolist()) == {1}
+
+    def test_filter_by_kind(self):
+        t = make_trace([0, 64], kinds=[0, 1])
+        out = filter_by_kind(t, [AccessKind.STORE])
+        assert out.addrs.tolist() == [64]
+
+    def test_filter_by_address_range(self):
+        t = make_trace([0, 100, 200])
+        out = filter_by_address_range(t, 50, 150)
+        assert out.addrs.tolist() == [100]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(TraceError):
+            filter_by_address_range(make_trace([0]), 10, 10)
+
+
+class TestDownsample:
+    def test_every_second(self):
+        t = make_trace([0, 64, 128, 192], gaps=[1, 1, 1, 1])
+        out = downsample(t, 2)
+        assert out.addrs.tolist() == [0, 128]
+        assert out.gaps.tolist() == [1, 2]
+
+    def test_step_one_is_identity(self):
+        t = make_trace([0, 64])
+        out = downsample(t, 1)
+        assert np.array_equal(out.records, t.records)
+
+    def test_invalid_step(self):
+        with pytest.raises(TraceError):
+            downsample(make_trace([0]), 0)
+
+
+class TestAddressTransforms:
+    def test_rebase(self):
+        t = make_trace([0, 64])
+        out = rebase_addresses(t, 0x1000)
+        assert out.addrs.tolist() == [0x1000, 0x1040]
+
+    def test_rebase_preserves_everything_else(self):
+        t = make_trace([0], pcs=[7], gaps=[3])
+        out = rebase_addresses(t, 64)
+        assert out.pcs.tolist() == [7]
+        assert out.gaps.tolist() == [3]
+
+    def test_remap_pcs(self):
+        t = make_trace([0, 64], pcs=[10, 20])
+        out = remap_pcs(t, lambda pc: pc * 2)
+        assert out.pcs.tolist() == [20, 40]
+
+    def test_remap_preserves_addresses(self):
+        t = make_trace([0, 64], pcs=[10, 20])
+        out = remap_pcs(t, lambda pc: 0)
+        assert out.addrs.tolist() == [0, 64]
+
+
+class TestSplitByPC:
+    def test_partition_is_complete(self):
+        t = make_trace([0, 64, 128, 192], pcs=[1, 2, 1, 2])
+        parts = split_by_pc(t)
+        assert set(parts) == {1, 2}
+        total = sum(len(p) for p in parts.values())
+        assert total == len(t)
+
+    def test_instruction_counts_preserved_modulo_tail(self):
+        t = make_trace([0, 64, 128], pcs=[1, 2, 1], gaps=[2, 2, 2])
+        parts = split_by_pc(t)
+        # pc=1 keeps indices 0, 2: gap folding gives 2 + 4 = 6.
+        assert parts[1].num_instructions == 6

@@ -1,0 +1,178 @@
+"""Tests for the GAP address-space model and stream assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gap.common import gather_pass_stream, pick_sources, vertex_chunks
+from repro.gap.memory import (
+    ELEMENT_BYTES,
+    GraphMemory,
+    PCTable,
+    interleave_addr_streams,
+    row_edge_indices,
+)
+from repro.graphs import CSRGraph, path_graph, star_graph
+from repro.trace.record import AccessKind
+
+
+class TestPCTable:
+    def test_stable_allocation(self):
+        t = PCTable()
+        a = t.pc("site.a")
+        b = t.pc("site.b")
+        assert a != b
+        assert t.pc("site.a") == a
+        assert len(t) == 2
+
+    def test_sites_mapping(self):
+        t = PCTable()
+        t.pc("x")
+        assert "x" in t.sites
+
+    def test_first_use_order_is_deterministic(self):
+        t1, t2 = PCTable(), PCTable()
+        for name in ("a", "b", "c"):
+            t1.pc(name)
+            t2.pc(name)
+        assert t1.sites == t2.sites
+
+
+class TestGraphMemory:
+    def test_arrays_do_not_alias(self, path5):
+        mem = GraphMemory(path5)
+        v = np.arange(5)
+        regions = {
+            int(mem.oa(v)[0]) >> 36,
+            int(mem.na(v)[0]) >> 36,
+            int(mem.weight(v)[0]) >> 36,
+            int(mem.prop("a", v)[0]) >> 36,
+            int(mem.prop("b", v)[0]) >> 36,
+        }
+        assert len(regions) == 5
+
+    def test_element_addressing(self, path5):
+        mem = GraphMemory(path5)
+        assert int(mem.oa(1)) - int(mem.oa(0)) == ELEMENT_BYTES
+
+    def test_property_regions_stable(self, path5):
+        mem = GraphMemory(path5)
+        first = int(mem.prop("rank", 0))
+        mem.prop("other", 0)
+        assert int(mem.prop("rank", 0)) == first
+        assert mem.property_names == ["rank", "other"]
+
+
+class TestInterleave:
+    def test_pairwise(self):
+        a = np.array([1, 2], dtype=np.uint64)
+        b = np.array([10, 20], dtype=np.uint64)
+        addrs, pcs = interleave_addr_streams([(a, 7), (b, 9)])
+        assert addrs.tolist() == [1, 10, 2, 20]
+        assert pcs.tolist() == [7, 9, 7, 9]
+
+    def test_rejects_unequal_lengths(self):
+        with pytest.raises(WorkloadError):
+            interleave_addr_streams(
+                [(np.zeros(2, dtype=np.uint64), 1), (np.zeros(3, dtype=np.uint64), 2)]
+            )
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(WorkloadError):
+            interleave_addr_streams([])
+
+
+class TestRowEdgeIndices:
+    def test_matches_offsets(self, grid4x4):
+        vertices = np.array([0, 5, 15], dtype=np.int64)
+        idx = row_edge_indices(grid4x4, vertices)
+        expected = np.concatenate(
+            [
+                np.arange(grid4x4.offsets[v], grid4x4.offsets[v + 1])
+                for v in vertices
+            ]
+        )
+        assert np.array_equal(idx, expected)
+
+    def test_empty_vertices(self, grid4x4):
+        assert len(row_edge_indices(grid4x4, np.array([], dtype=np.int64))) == 0
+
+
+class TestGatherPassStream:
+    def test_stream_layout_per_vertex(self):
+        """OA, then (NA, gather) pairs, then the write — per vertex."""
+        g = star_graph(2)  # vertex 0: neighbours [1, 2]; leaves: [0]
+        mem = GraphMemory(g)
+        addrs, pcs, kinds = gather_pass_stream(
+            g, mem, np.array([0]), "val", "out",
+            pc_oa=11, pc_na=22, pc_gather=33, pc_write=44,
+        )
+        # vertex 0: OA + 2*(NA, gather) + write = 6 accesses
+        assert len(addrs) == 6
+        assert pcs.tolist() == [11, 22, 33, 22, 33, 44]
+        assert kinds[-1] == AccessKind.STORE
+        assert addrs[0] == mem.oa(0)
+        assert addrs[1] == mem.na(0)
+        assert addrs[2] == mem.prop("val", 1)
+        assert addrs[-1] == mem.prop("out", 0)
+
+    def test_weighted_stream_adds_weight_loads(self):
+        g = star_graph(2)
+        mem = GraphMemory(g)
+        addrs, pcs, kinds = gather_pass_stream(
+            g, mem, np.array([0]), "val", None,
+            pc_oa=11, pc_na=22, pc_gather=33, pc_write=0,
+            with_weights=True, pc_weight=55,
+        )
+        # OA + 2*(NA, W, gather) = 7 accesses, no write
+        assert len(addrs) == 7
+        assert pcs.tolist() == [11, 22, 55, 33, 22, 55, 33]
+        assert addrs[2] == mem.weight(0)
+
+    def test_zero_degree_vertex(self):
+        g = CSRGraph.from_edges(3, np.array([[0, 1]]))  # vertex 2 isolated
+        mem = GraphMemory(g)
+        # A vertex with no out-edges still reads OA and writes its output.
+        addrs, pcs, kinds = gather_pass_stream(
+            g, mem, np.array([2]), "val", "out",
+            pc_oa=1, pc_na=2, pc_gather=3, pc_write=4,
+        )
+        assert len(addrs) == 2
+        assert pcs.tolist() == [1, 4]
+
+    def test_empty_vertex_list(self, path5):
+        mem = GraphMemory(path5)
+        addrs, pcs, kinds = gather_pass_stream(
+            path5, mem, np.array([], dtype=np.int64), "v", None,
+            pc_oa=1, pc_na=2, pc_gather=3, pc_write=0,
+        )
+        assert len(addrs) == 0
+
+    def test_total_length_formula(self, grid4x4):
+        mem = GraphMemory(grid4x4)
+        vertices = np.arange(16, dtype=np.int64)
+        addrs, _, _ = gather_pass_stream(
+            grid4x4, mem, vertices, "v", "w",
+            pc_oa=1, pc_na=2, pc_gather=3, pc_write=4,
+        )
+        expected = 16 * 2 + 2 * grid4x4.num_edges  # OA+write per v, 2 per edge
+        assert len(addrs) == expected
+
+
+class TestHelpers:
+    def test_vertex_chunks(self):
+        chunks = list(vertex_chunks(np.arange(10), chunk=4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_pick_sources_have_degree(self, small_graph):
+        sources = pick_sources(small_graph, 4)
+        assert len(sources) == 4
+        assert all(small_graph.out_degree(s) > 0 for s in sources)
+
+    def test_pick_sources_deterministic(self, small_graph):
+        assert pick_sources(small_graph, 3) == pick_sources(small_graph, 3)
+
+    def test_pick_sources_empty_graph_raises(self):
+        g = CSRGraph(np.zeros(4, dtype=np.int64), np.empty(0, dtype=np.int64))
+        with pytest.raises(WorkloadError):
+            pick_sources(g, 1)

@@ -1,0 +1,86 @@
+"""Tests for the GAP suite driver (specs, graph building, suite API)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gap.suite import (
+    GAP_KERNELS,
+    GapWorkloadSpec,
+    build_graph,
+    default_specs,
+    gap_suite,
+    run_kernel,
+)
+from repro.graphs import uniform_random
+
+
+class TestSpecs:
+    def test_canonical_kernel_order(self):
+        assert GAP_KERNELS == ("bfs", "pr", "cc", "sssp", "bc", "tc")
+
+    def test_spec_name(self):
+        spec = GapWorkloadSpec(kernel="bfs", graph_name="kron", scale=15, degree=16)
+        assert spec.name == "bfs.kron15"
+
+    def test_default_specs_cover_all_kernels(self):
+        specs = default_specs(scale=10)
+        assert [s.kernel for s in specs] == list(GAP_KERNELS)
+        assert all(s.scale == 10 for s in specs)
+
+
+class TestBuildGraph:
+    def test_kron_family(self):
+        g = build_graph(GapWorkloadSpec("bfs", "kron", scale=8, degree=8))
+        assert g.num_vertices == 256
+
+    def test_urand_family(self):
+        g = build_graph(GapWorkloadSpec("bfs", "urand", scale=8, degree=8))
+        assert g.num_vertices == 256
+
+    def test_unknown_family(self):
+        with pytest.raises(WorkloadError, match="graph family"):
+            build_graph(GapWorkloadSpec("bfs", "mystery", scale=8, degree=8))
+
+
+class TestRunKernel:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return uniform_random(128, avg_degree=6, seed=3)
+
+    @pytest.mark.parametrize("kernel", GAP_KERNELS)
+    def test_every_kernel_runs(self, graph, kernel):
+        run = run_kernel(kernel, graph, trace_name=f"{kernel}.test",
+                         max_accesses=2000)
+        assert run.trace.name == f"{kernel}.test"
+        assert 0 < len(run.trace) <= 2000
+
+    def test_unknown_kernel(self, graph):
+        with pytest.raises(WorkloadError, match="unknown GAP kernel"):
+            run_kernel("dijkstra", graph, trace_name="x")
+
+
+class TestGapSuite:
+    def test_suite_on_tiny_scale(self):
+        traces = gap_suite(scale=9, degree=8, kernels=("bfs", "pr"),
+                           max_accesses=3000)
+        assert set(traces) == {"bfs.kron9", "pr.kron9"}
+        for t in traces.values():
+            assert len(t) <= 3000
+
+    def test_suite_shares_one_graph(self):
+        """All kernels of one suite call run on the same graph: their OA
+        regions must produce identical address sets for full passes."""
+        traces = gap_suite(scale=9, degree=8, kernels=("pr", "cc"),
+                           max_accesses=None)
+        # Determinism check at the suite level: rebuilding is identical.
+        again = gap_suite(scale=9, degree=8, kernels=("pr", "cc"),
+                          max_accesses=None)
+        import numpy as np
+
+        for name in traces:
+            assert np.array_equal(traces[name].records, again[name].records)
+
+    def test_urand_suite(self):
+        traces = gap_suite(scale=9, degree=8, graph_name="urand",
+                           kernels=("bfs",), max_accesses=2000)
+        assert "bfs.urand9" in traces

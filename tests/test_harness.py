@@ -1,0 +1,131 @@
+"""Tests for the run-matrix harness and experiment drivers (small scale)."""
+
+import pytest
+
+from repro.core.config import CacheConfig, MachineConfig
+from repro.errors import SimulationError
+from repro.harness.experiments import (
+    ExperimentReport,
+    experiment_table1,
+)
+from repro.harness.runner import run_matrix
+from repro.trace import synthetic
+
+
+def tiny_config() -> MachineConfig:
+    return MachineConfig(
+        l1i=CacheConfig("L1I", 1024, 2, hit_latency=1),
+        l1d=CacheConfig("L1D", 1024, 2, hit_latency=1),
+        l2=CacheConfig("L2C", 4096, 4, hit_latency=4),
+        llc=CacheConfig("LLC", 8192, 4, hit_latency=8),
+    )
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    traces = {
+        "zipf": synthetic.zipf_reuse(4000, num_blocks=400, seed=1),
+        "thrash": synthetic.strided(4000, stride=64, elements=200),
+    }
+    return run_matrix(traces, ["lru", "srrip", "brrip"], config=tiny_config())
+
+
+class TestRunMatrix:
+    def test_all_cells_present(self, matrix):
+        assert matrix.workloads == ["zipf", "thrash"]
+        assert matrix.policies == ["lru", "srrip", "brrip"]
+        for w in matrix.workloads:
+            for p in matrix.policies:
+                assert matrix.get(w, p).policy == p
+
+    def test_missing_cell_raises(self, matrix):
+        with pytest.raises(SimulationError, match="no result"):
+            matrix.get("zipf", "hawkeye")
+
+    def test_baseline_speedup_is_one(self, matrix):
+        assert matrix.speedup("zipf", "lru") == pytest.approx(1.0)
+
+    def test_geomean_speedup(self, matrix):
+        g = matrix.geomean_speedup("srrip")
+        speedups = matrix.speedups("srrip")
+        assert min(speedups.values()) <= g <= max(speedups.values())
+
+    def test_brrip_wins_thrash(self, matrix):
+        assert matrix.speedup("thrash", "brrip") > 1.0
+
+    def test_mpki_table(self, matrix):
+        table = matrix.mpki_table("LLC")
+        assert set(table) == {"zipf", "thrash"}
+        assert table["thrash"]["brrip"] < table["thrash"]["lru"]
+
+    def test_progress_callback(self):
+        calls = []
+        run_matrix(
+            {"t": synthetic.streaming(200)},
+            ["lru"],
+            config=tiny_config(),
+            progress=lambda w, p: calls.append((w, p)),
+        )
+        assert calls == [("t", "lru")]
+
+    def test_list_of_traces_accepted(self):
+        t = synthetic.streaming(200)
+        m = run_matrix([t], ["lru"], config=tiny_config())
+        assert m.workloads == [t.name]
+
+
+class TestExperimentReports:
+    def test_table1_lists_paper_machine(self):
+        report = experiment_table1()
+        rendered = report.render()
+        assert "LLC" in rendered
+        assert "11-way" in rendered
+        assert "DDR4" in rendered
+
+    def test_render_is_stable(self):
+        report = ExperimentReport(
+            experiment="X", headers=["a", "b"], rows=[["r", 1.0]]
+        )
+        assert report.render() == report.render()
+
+    def test_float_format_override(self):
+        report = ExperimentReport(experiment="X", headers=["a"], rows=[[1.23456]])
+        assert "1.2346" in report.render(float_format="{:.4f}")
+
+
+class TestExperimentCharts:
+    def _report(self):
+        return ExperimentReport(
+            experiment="Demo",
+            headers=["suite", "srrip", "ship"],
+            rows=[["spec06", 1.03, 1.09], ["gap", 1.01, 1.02]],
+        )
+
+    def test_numeric_span_detection(self):
+        assert self._report()._numeric_span() == 2
+
+    def test_grouped_chart_contains_groups_and_bars(self):
+        out = self._report().chart()
+        assert "spec06:" in out and "gap:" in out
+        assert "█" in out
+
+    def test_baseline_chart_marks_baseline(self):
+        out = self._report().chart(baseline=1.0)
+        assert "|" in out
+        assert "srrip" in out
+
+    def test_no_numeric_columns_rejected(self):
+        report = ExperimentReport(
+            experiment="X", headers=["a", "b"], rows=[["p", "q"]]
+        )
+        with pytest.raises(ValueError, match="numeric"):
+            report.chart()
+
+    def test_mixed_label_columns(self):
+        report = ExperimentReport(
+            experiment="X",
+            headers=["suite", "workload", "mpki"],
+            rows=[["gap", "bfs", 40.0]],
+        )
+        out = report.chart()
+        assert "gap bfs:" in out

@@ -1,0 +1,134 @@
+"""Tests for the three-level hierarchy: propagation, fills, writebacks."""
+
+import pytest
+
+from repro.core.config import CacheConfig, MachineConfig
+from repro.core.simulator import build_hierarchy
+from repro.mem.hierarchy import ServiceLevel
+from repro.mem.prefetcher import NextLinePrefetcher
+from repro.trace.record import AccessKind
+
+LOAD = AccessKind.LOAD
+STORE = AccessKind.STORE
+IFETCH = AccessKind.IFETCH
+
+
+def tiny_config() -> MachineConfig:
+    return MachineConfig(
+        l1i=CacheConfig("L1I", 512, 2, hit_latency=1),
+        l1d=CacheConfig("L1D", 512, 2, hit_latency=1),
+        l2=CacheConfig("L2C", 1024, 4, hit_latency=4),
+        llc=CacheConfig("LLC", 2048, 4, hit_latency=8),
+    )
+
+
+@pytest.fixture
+def hierarchy():
+    return build_hierarchy(tiny_config(), "lru")
+
+
+class TestPropagation:
+    def test_cold_access_reaches_dram(self, hierarchy):
+        latency, level = hierarchy.access(0, 0, LOAD, cycle=0)
+        assert level == ServiceLevel.DRAM
+        assert latency > hierarchy.llc.hit_latency
+        assert hierarchy.dram.stats.reads == 1
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(0, 0, LOAD, 0)
+        latency, level = hierarchy.access(0, 0, LOAD, 100)
+        assert level == ServiceLevel.L1
+        assert latency == hierarchy.l1d.hit_latency
+
+    def test_fill_populates_all_levels(self, hierarchy):
+        hierarchy.access(0, 0, LOAD, 0)
+        assert hierarchy.l1d.contains(0)
+        assert hierarchy.l2.contains(0)
+        assert hierarchy.llc.contains(0)
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        # L1D: 512 B, 2-way, 4 sets. Blocks 0, 4, 8 map to set 0.
+        hierarchy.access(0, 0, LOAD, 0)
+        hierarchy.access(4 * 64, 0, LOAD, 0)
+        hierarchy.access(8 * 64, 0, LOAD, 0)  # evicts 0 from L1D
+        assert not hierarchy.l1d.contains(0)
+        _, level = hierarchy.access(0, 0, LOAD, 0)
+        assert level == ServiceLevel.L2
+
+    def test_ifetch_uses_l1i(self, hierarchy):
+        hierarchy.access(0, 0, IFETCH, 0)
+        assert hierarchy.l1i.contains(0)
+        assert not hierarchy.l1d.contains(0)
+        assert hierarchy.l1i.stats.demand_accesses == 1
+        assert hierarchy.l1d.stats.demand_accesses == 0
+
+    def test_latency_accumulates_down_the_hierarchy(self, hierarchy):
+        lat_dram, _ = hierarchy.access(0, 0, LOAD, 0)
+        lat_l1, _ = hierarchy.access(0, 0, LOAD, 10_000)
+        hierarchy.l1d.invalidate(0)
+        lat_l2, _ = hierarchy.access(0, 0, LOAD, 20_000)
+        assert lat_l1 < lat_l2 < lat_dram
+
+
+class TestWritebacks:
+    def test_dirty_l1_eviction_writes_back_to_l2(self, hierarchy):
+        hierarchy.access(0, 0, STORE, 0)  # dirty in L1D
+        hierarchy.access(4 * 64, 0, LOAD, 0)
+        hierarchy.access(8 * 64, 0, LOAD, 0)  # evicts dirty 0
+        assert hierarchy.l2.stats.writeback_accesses >= 1
+
+    def test_dirty_llc_eviction_reaches_dram(self):
+        h = build_hierarchy(tiny_config(), "lru")
+        # Stream enough dirty blocks to force LLC dirty evictions.
+        for i in range(200):
+            h.access(i * 64, 0, STORE, i * 1000)
+        assert h.dram.stats.writes > 0
+
+    def test_writeback_hit_does_not_allocate_twice(self, hierarchy):
+        hierarchy.access(0, 0, STORE, 0)
+        occupancy = hierarchy.l2.occupancy
+        # Writeback of a block already resident in L2 must not grow it.
+        hierarchy._writeback_to_l2(0, 0)
+        assert hierarchy.l2.occupancy == occupancy
+
+
+class TestCrossLevelStats:
+    def test_dram_fraction_counters(self, hierarchy):
+        hierarchy.access(0, 0, LOAD, 0)  # miss -> DRAM
+        hierarchy.access(0, 0, LOAD, 0)  # L1 hit
+        assert hierarchy.stats.l1d_misses == 1
+        assert hierarchy.stats.l1d_misses_to_dram == 1
+        assert hierarchy.stats.l1d_miss_dram_fraction == 1.0
+
+    def test_served_by_accounting(self, hierarchy):
+        hierarchy.access(0, 0, LOAD, 0)
+        hierarchy.access(0, 0, LOAD, 0)
+        assert hierarchy.stats.served_by[ServiceLevel.DRAM] == 1
+        assert hierarchy.stats.served_by[ServiceLevel.L1] == 1
+
+    def test_ifetch_misses_not_counted_as_l1d(self, hierarchy):
+        hierarchy.access(0, 0, IFETCH, 0)
+        assert hierarchy.stats.l1d_misses == 0
+
+
+class TestPrefetching:
+    def test_next_line_prefetcher_fills_l2(self):
+        h = build_hierarchy(tiny_config(), "lru", NextLinePrefetcher(degree=1))
+        h.access(0, 0x40, LOAD, 0)
+        assert h.l2.contains(1)  # block 1 prefetched into L2
+        assert not h.l1d.contains(1)  # but not into L1
+
+    def test_prefetches_counted_as_prefetch_kind(self):
+        h = build_hierarchy(tiny_config(), "lru", NextLinePrefetcher(degree=1))
+        h.access(0, 0x40, LOAD, 0)
+        assert h.l2.stats.prefetch_accesses >= 1
+        assert h.llc.stats.prefetch_accesses >= 1
+
+    def test_prefetcher_reduces_demand_misses_on_stream(self):
+        def misses(prefetcher):
+            h = build_hierarchy(tiny_config(), "lru", prefetcher)
+            for i in range(100):
+                h.access(i * 64, 0x40, LOAD, i * 500)
+            return h.l2.stats.demand_misses
+
+        assert misses(NextLinePrefetcher(degree=2)) < misses(None)

@@ -1,0 +1,112 @@
+"""Tests for the inclusive-hierarchy mode (back-invalidation)."""
+
+import pytest
+
+from repro.core.simulator import build_hierarchy, simulate
+from repro.trace import synthetic
+from repro.trace.record import AccessKind
+
+from test_hierarchy import tiny_config
+
+LOAD = AccessKind.LOAD
+STORE = AccessKind.STORE
+
+
+def fill_llc_set_with_conflicts(h, set_index=0, count=None):
+    """Access enough blocks mapping to one LLC set to force evictions."""
+    count = count or (h.llc.num_ways + 2)
+    blocks = [set_index + h.llc.num_sets * i for i in range(count)]
+    for i, b in enumerate(blocks):
+        h.access(b * 64, 0, LOAD, i * 1000)
+    return blocks
+
+
+class TestBackInvalidation:
+    def test_llc_eviction_removes_upper_copies(self):
+        h = build_hierarchy(tiny_config(), "lru", inclusive=True)
+        blocks = fill_llc_set_with_conflicts(h)
+        evicted = [b for b in blocks if not h.llc.contains(b)]
+        assert evicted, "the set must have overflowed"
+        for b in evicted:
+            assert not h.l1d.contains(b)
+            assert not h.l2.contains(b)
+
+    @staticmethod
+    def _evict_block_zero_from_llc(h):
+        """Fill LLC set 0 while keeping block 0 hot in the L1D.
+
+        Touching block 0 after every conflicting fill keeps it MRU in the
+        L1D (hits there never reach the LLC), so once the LLC set
+        overflows, block 0 is LLC-evicted while still upper-resident —
+        the exact situation where inclusion modes differ.
+        """
+        cycle = 0
+        h.access(0, 0, LOAD, cycle)
+        for i in range(1, h.llc.num_ways + 2):
+            cycle += 1000
+            h.access(h.llc.num_sets * i * 64, 0, LOAD, cycle)
+            h.access(0, 0, LOAD, cycle + 1)
+
+    def test_nine_mode_keeps_upper_copies(self):
+        h = build_hierarchy(tiny_config(), "lru", inclusive=False)
+        self._evict_block_zero_from_llc(h)
+        assert not h.llc.contains(0)
+        assert h.l1d.contains(0)  # NINE: upper copy survives
+
+    def test_inclusive_mode_forces_retouch_misses(self):
+        """In NINE the re-touches of block 0 all hit the L1D; inclusive
+        back-invalidation forces some of them to miss and refetch."""
+        nine = build_hierarchy(tiny_config(), "lru", inclusive=False)
+        self._evict_block_zero_from_llc(nine)
+        incl = build_hierarchy(tiny_config(), "lru", inclusive=True)
+        self._evict_block_zero_from_llc(incl)
+        assert incl.stats.back_invalidations > 0
+        assert incl.l1d.stats.demand_misses > nine.l1d.stats.demand_misses
+
+    def test_back_invalidation_counter(self):
+        h = build_hierarchy(tiny_config(), "lru", inclusive=True)
+        fill_llc_set_with_conflicts(h)
+        assert h.stats.back_invalidations > 0
+
+    def test_dirty_upper_copy_flushed_to_dram(self):
+        h = build_hierarchy(tiny_config(), "lru", inclusive=True)
+        # Dirty a block in L1D, then evict it from the LLC via conflicts.
+        h.access(0, 0, STORE, 0)
+        writes_before = h.dram.stats.writes
+        for i in range(1, h.llc.num_ways + 2):
+            h.access(h.llc.num_sets * i * 64, 0, LOAD, i * 1000)
+        if not h.llc.contains(0):
+            assert h.dram.stats.writes > writes_before
+
+    def test_inclusive_never_hits_above_without_llc_copy(self):
+        """The inclusion invariant: upper-level content is a subset of
+        the LLC's (checked after every access of a random workload)."""
+        h = build_hierarchy(tiny_config(), "lru", inclusive=True)
+        trace = synthetic.zipf_reuse(3000, num_blocks=300, seed=5)
+        for i, addr in enumerate(trace.addrs.tolist()):
+            h.access(addr, 0, LOAD, i * 100)
+        for cache in (h.l1d, h.l2):
+            for block in cache.resident_blocks():
+                assert h.llc.contains(block), (
+                    f"{cache.name} holds block {block:#x} not in the LLC"
+                )
+
+    def test_simulate_with_inclusive_hierarchy(self):
+        cfg = tiny_config()
+        trace = synthetic.zipf_reuse(5000, num_blocks=400, seed=6)
+        h = build_hierarchy(cfg, "lru", inclusive=True)
+        result = simulate(trace, config=cfg, hierarchy=h)
+        assert result.instructions > 0
+
+    def test_inclusive_hit_rate_not_higher_than_nine(self):
+        """Back-invalidation can only reduce upper-level hit rates."""
+        cfg = tiny_config()
+        trace = synthetic.zipf_reuse(8000, num_blocks=500, seed=7)
+        nine = simulate(trace, config=cfg, hierarchy=build_hierarchy(cfg, "lru"))
+        incl = simulate(
+            trace, config=cfg, hierarchy=build_hierarchy(cfg, "lru", inclusive=True)
+        )
+        assert (
+            incl.levels["L1D"].demand_hit_rate
+            <= nine.levels["L1D"].demand_hit_rate + 0.02
+        )

@@ -1,0 +1,85 @@
+"""Tests for 3C miss classification."""
+
+import pytest
+
+from repro.analysis.misses import classify_misses
+from repro.errors import ConfigurationError
+from repro.trace import synthetic
+
+from conftest import make_trace
+
+
+class TestBasicClassification:
+    def test_all_distinct_is_all_compulsory(self):
+        t = make_trace([i * 64 for i in range(50)])
+        c = classify_misses(t, size_bytes=16 * 64, num_ways=4)
+        assert c.compulsory == 50
+        assert c.capacity == 0
+        assert c.conflict == 0
+        assert c.hits == 0
+
+    def test_resident_set_is_all_hits_after_cold(self):
+        blocks = list(range(8)) * 10
+        t = make_trace([b * 64 for b in blocks])
+        c = classify_misses(t, size_bytes=16 * 64, num_ways=16)
+        assert c.compulsory == 8
+        assert c.hits == 72
+        assert c.capacity == 0
+        assert c.conflict == 0
+
+    def test_thrash_is_capacity(self):
+        # 32-block cycle against a 16-block cache: every warm miss has
+        # reuse distance 31 >= 16 -> capacity.
+        blocks = list(range(32)) * 5
+        t = make_trace([b * 64 for b in blocks])
+        c = classify_misses(t, size_bytes=16 * 64, num_ways=16)
+        assert c.compulsory == 32
+        assert c.capacity == 32 * 4
+        assert c.conflict == 0
+
+    def test_conflict_misses_detected(self):
+        # Two blocks in the same set of a direct-mapped cache, alternating:
+        # fully-associative would hit, direct-mapped always conflicts.
+        sets = 16
+        t = make_trace([0, sets * 64] * 20)
+        c = classify_misses(t, size_bytes=sets * 64, num_ways=1)
+        assert c.conflict == 38  # all warm misses
+        assert c.compulsory == 2
+
+    def test_counts_are_consistent(self):
+        t = synthetic.zipf_reuse(5000, num_blocks=600, seed=3)
+        c = classify_misses(t, size_bytes=128 * 64, num_ways=8)
+        assert c.hits + c.misses == c.accesses
+        assert c.misses == c.compulsory + c.capacity + c.conflict
+
+
+class TestDerivedMetrics:
+    def test_fractions_sum_to_one(self):
+        t = synthetic.zipf_reuse(4000, num_blocks=500, seed=4)
+        c = classify_misses(t, size_bytes=64 * 64, num_ways=4)
+        total = sum(c.fraction(k) for k in ("compulsory", "capacity", "conflict"))
+        assert total == pytest.approx(1.0)
+
+    def test_policy_addressable_fraction(self):
+        t = make_trace([i * 64 for i in range(10)])
+        c = classify_misses(t, size_bytes=16 * 64, num_ways=4)
+        assert c.policy_addressable_fraction == 0.0  # all compulsory
+
+    def test_invalid_geometry_rejected(self):
+        t = make_trace([0])
+        with pytest.raises(ConfigurationError):
+            classify_misses(t, size_bytes=1000, num_ways=3)
+
+
+class TestPaperShape:
+    def test_gap_like_trace_has_no_addressable_misses_headroom(self):
+        """Streaming (GAP-like worst case): all compulsory."""
+        t = synthetic.streaming(3000)
+        c = classify_misses(t, size_bytes=256 * 64, num_ways=8)
+        assert c.policy_addressable_fraction == 0.0
+
+    def test_spec_like_trace_has_addressable_misses(self):
+        """A thrash cycle leaves capacity misses a policy could bypass."""
+        t = synthetic.strided(5000, stride=64, elements=512)
+        c = classify_misses(t, size_bytes=256 * 64, num_ways=8)
+        assert c.policy_addressable_fraction > 0.5

@@ -1,0 +1,108 @@
+"""Tests for miss-ratio curves and phase analysis."""
+
+import pytest
+
+from repro.analysis.mrc import default_capacities, miss_ratio_curve
+from repro.analysis.phases import detect_phases, profile_windows
+from repro.errors import TraceError
+from repro.trace import synthetic
+from repro.trace.trace import Trace
+
+from conftest import make_trace
+
+
+class TestMissRatioCurve:
+    def test_monotone_nonincreasing(self):
+        t = synthetic.zipf_reuse(5000, num_blocks=600, seed=2)
+        curve = miss_ratio_curve(t)
+        ratios = list(curve.miss_ratios)
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_floor_is_cold_fraction(self):
+        t = make_trace([(i % 10) * 64 for i in range(100)])
+        curve = miss_ratio_curve(t)
+        assert curve.miss_ratios[-1] == pytest.approx(curve.cold_fraction)
+        assert curve.cold_fraction == pytest.approx(0.1)
+
+    def test_working_set_cliff(self):
+        """A tight loop over 16 blocks: miss ratio cliffs at capacity 16."""
+        t = make_trace([(i % 16) * 64 for i in range(800)])
+        curve = miss_ratio_curve(t, capacities=[1, 2, 4, 8, 16, 32])
+        assert curve.miss_ratio_at(8) > 0.9
+        assert curve.miss_ratio_at(16) < 0.05
+
+    def test_knee_detection(self):
+        t = make_trace([(i % 16) * 64 for i in range(800)])
+        curve = miss_ratio_curve(t, capacities=[1, 2, 4, 8, 16, 32])
+        assert curve.knee_capacity() == 16
+
+    def test_streaming_has_no_knee(self):
+        t = synthetic.streaming(2000)
+        curve = miss_ratio_curve(t)
+        assert curve.knee_capacity() is None  # flat at 1.0 everywhere
+
+    def test_miss_ratio_at_below_smallest(self):
+        t = make_trace([0, 0])
+        curve = miss_ratio_curve(t, capacities=[4])
+        assert curve.miss_ratio_at(1) == 1.0
+
+    def test_default_capacities_cover_footprint(self):
+        caps = default_capacities(100)
+        assert caps[0] == 1
+        assert caps[-1] >= 200
+
+    def test_empty_trace(self):
+        import numpy as np
+
+        from repro.trace.record import TRACE_DTYPE
+
+        curve = miss_ratio_curve(Trace(np.empty(0, dtype=TRACE_DTYPE)))
+        assert all(r == 1.0 for r in curve.miss_ratios)
+
+    def test_footprint_recorded(self):
+        t = make_trace([0, 64, 128])
+        assert miss_ratio_curve(t).footprint_blocks == 3
+
+
+class TestWindowProfiles:
+    def test_window_count(self):
+        t = make_trace([i * 64 for i in range(100)])
+        profiles = profile_windows(t, window_size=30)
+        assert len(profiles) == 4  # 30+30+30+10
+
+    def test_new_block_fraction_decays_on_loops(self):
+        t = make_trace([(i % 20) * 64 for i in range(100)])
+        profiles = profile_windows(t, window_size=25)
+        assert profiles[0].new_block_fraction == 1.0
+        assert profiles[-1].new_block_fraction == 0.0
+
+    def test_store_fraction(self):
+        t = make_trace([0, 64], kinds=[1, 0])
+        (profile,) = profile_windows(t, window_size=10)
+        assert profile.store_fraction == pytest.approx(0.5)
+
+    def test_invalid_window(self):
+        with pytest.raises(TraceError):
+            profile_windows(make_trace([0]), 0)
+
+
+class TestPhaseDetection:
+    def test_stable_workload_has_one_phase(self):
+        t = synthetic.working_set_loop(20_000, set_bytes=32 * 1024, seed=5)
+        report = detect_phases(t, window_size=4000, threshold=0.5)
+        assert report.num_phases == 1
+
+    def test_phased_workload_detected(self):
+        resident = synthetic.working_set_loop(10_000, set_bytes=16 * 1024, seed=6)
+        stream = synthetic.streaming(10_000, base=0x9_0000_0000)
+        t = synthetic.phased([resident, stream])
+        report = detect_phases(t, window_size=2500, threshold=0.5)
+        assert report.num_phases >= 2
+        # The change lands at the resident->stream boundary (window 4).
+        assert any(3 <= c <= 5 for c in report.changes)
+
+    def test_single_window_trace(self):
+        t = make_trace([0, 64])
+        report = detect_phases(t, window_size=100)
+        assert report.num_phases == 1
+        assert report.changes == ()

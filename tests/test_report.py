@@ -1,0 +1,87 @@
+"""Tests for the markdown report generator (with cheap fake experiments)."""
+
+import pytest
+
+from repro.harness.experiments import ExperimentReport
+from repro.harness.report import generate_report
+
+
+def fake_experiment() -> ExperimentReport:
+    return ExperimentReport(
+        experiment="Fake", headers=["suite", "metric"], rows=[["gap", 1.5]]
+    )
+
+
+def failing_experiment() -> ExperimentReport:
+    raise RuntimeError("boom")
+
+
+class TestGenerateReport:
+    def test_writes_sections(self, tmp_path):
+        path = generate_report(
+            {"one": fake_experiment, "two": fake_experiment},
+            tmp_path / "r.md",
+        )
+        text = path.read_text()
+        assert "## one" in text and "## two" in text
+        assert text.count("Fake") >= 2
+
+    def test_tables_in_code_fences(self, tmp_path):
+        text = generate_report(
+            {"x": fake_experiment}, tmp_path / "r.md"
+        ).read_text()
+        assert "```" in text
+        assert "metric" in text
+
+    def test_charts_included_by_default(self, tmp_path):
+        text = generate_report(
+            {"x": fake_experiment}, tmp_path / "r.md"
+        ).read_text()
+        assert "█" in text
+
+    def test_charts_can_be_disabled(self, tmp_path):
+        text = generate_report(
+            {"x": fake_experiment}, tmp_path / "r.md", charts=False
+        ).read_text()
+        assert "█" not in text
+
+    def test_failures_isolated(self, tmp_path):
+        text = generate_report(
+            {"bad": failing_experiment, "good": fake_experiment},
+            tmp_path / "r.md",
+        ).read_text()
+        assert "FAILED" in text and "boom" in text
+        assert "## good" in text  # later experiments still ran
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        generate_report(
+            {"a": fake_experiment}, tmp_path / "r.md",
+            progress=seen.append,
+        )
+        assert seen == ["a"]
+
+    def test_fig3_gets_baseline_chart(self, tmp_path):
+        def fig3_like() -> ExperimentReport:
+            return ExperimentReport(
+                experiment="F3", headers=["suite", "srrip"],
+                rows=[["gap", 1.01]],
+            )
+
+        text = generate_report(
+            {"fig3": fig3_like}, tmp_path / "r.md"
+        ).read_text()
+        assert "|" in text  # baseline marker present
+
+
+class TestCLIReport:
+    def test_report_subcommand(self, tmp_path, monkeypatch, capsys):
+        import repro.__main__ as cli
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "table1", fake_experiment)
+        out = tmp_path / "out.md"
+        rc = cli.main(["report", "--output", str(out),
+                       "--experiments", "table1"])
+        assert rc == 0
+        assert out.exists()
+        assert "Fake" in out.read_text()

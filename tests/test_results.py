@@ -1,0 +1,155 @@
+"""Tests for result containers and the registry/error surfaces."""
+
+import pytest
+
+from repro.core.results import LevelStats, SimulationResult
+from repro.errors import (
+    ConfigurationError,
+    GraphError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TraceFormatError,
+    UnknownPolicyError,
+    WorkloadError,
+)
+from repro.mem.cache import CacheStats
+from repro.mem.hierarchy import ServiceLevel
+from repro.policies.registry import (
+    BASELINE_POLICY,
+    PAPER_POLICIES,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+
+def make_result(workload="w", policy="lru", instructions=1000, cycles=500.0,
+                llc_hits=10, llc_accesses=100) -> SimulationResult:
+    levels = {
+        "LLC": LevelStats(
+            name="LLC", demand_accesses=llc_accesses, demand_hits=llc_hits,
+            writeback_accesses=0, prefetch_accesses=0, prefetch_hits=0,
+            evictions=0, dirty_evictions=0, bypasses=0,
+        )
+    }
+    return SimulationResult(
+        workload=workload, policy=policy, instructions=instructions,
+        cycles=cycles, levels=levels, served_by={}, l1d_misses=50,
+        l1d_misses_to_dram=25, dram_reads=20, dram_writes=5,
+        dram_row_hit_rate=0.5, mean_load_latency=80.0,
+    )
+
+
+class TestLevelStats:
+    def test_derived_metrics(self):
+        stats = LevelStats(
+            name="L1D", demand_accesses=100, demand_hits=80,
+            writeback_accesses=5, prefetch_accesses=0, prefetch_hits=0,
+            evictions=3, dirty_evictions=1, bypasses=0,
+        )
+        assert stats.demand_misses == 20
+        assert stats.demand_hit_rate == pytest.approx(0.8)
+        assert stats.mpki(10_000) == pytest.approx(2.0)
+
+    def test_zero_accesses(self):
+        stats = LevelStats("X", 0, 0, 0, 0, 0, 0, 0, 0)
+        assert stats.demand_hit_rate == 0.0
+        assert stats.mpki(0) == 0.0
+
+    def test_from_cache_stats(self):
+        cs = CacheStats(demand_accesses=10, demand_hits=7, evictions=2)
+        stats = LevelStats.from_cache_stats("L2C", cs)
+        assert stats.demand_misses == 3
+        assert stats.evictions == 2
+
+
+class TestSimulationResult:
+    def test_ipc(self):
+        assert make_result().ipc == pytest.approx(2.0)
+
+    def test_llc_mpki(self):
+        assert make_result().llc_mpki == pytest.approx(90.0)
+
+    def test_dram_fraction(self):
+        assert make_result().l1d_miss_dram_fraction == pytest.approx(0.5)
+
+    def test_speedup(self):
+        fast = make_result(cycles=250.0)
+        slow = make_result(cycles=500.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_cross_workload_rejected(self):
+        with pytest.raises(ValueError):
+            make_result(workload="a").speedup_over(make_result(workload="b"))
+
+    def test_summary_format(self):
+        s = make_result().summary()
+        assert "w [lru]" in s and "IPC=2.000" in s
+
+
+class TestRegistry:
+    def test_all_paper_policies_available(self):
+        names = available_policies()
+        assert BASELINE_POLICY in names
+        for p in PAPER_POLICIES:
+            assert p in names
+
+    def test_paper_policy_order_matches_figure3(self):
+        assert PAPER_POLICIES == ("srrip", "drrip", "ship", "hawkeye", "glider", "mpppb")
+
+    def test_make_policy_returns_fresh_instances(self):
+        a = make_policy("lru")
+        b = make_policy("lru")
+        assert a is not b
+
+    def test_unknown_policy_lists_available(self):
+        with pytest.raises(UnknownPolicyError, match="lru"):
+            make_policy("bogus")
+
+    def test_case_insensitive(self):
+        assert make_policy("LRU").name == "lru"
+
+    def test_custom_registration(self):
+        from repro.policies.basic import LRUPolicy
+
+        class Custom(LRUPolicy):
+            name = "custom-test"
+
+        register_policy("custom-test", Custom)
+        try:
+            assert make_policy("custom-test").name == "custom-test"
+        finally:
+            # keep the global registry clean for other tests
+            from repro.policies import registry
+
+            registry._REGISTRY.pop("custom-test", None)
+
+    def test_opt_not_in_registry(self):
+        """OPT needs a recorded future; it must not be name-constructible."""
+        assert "opt" not in available_policies()
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ConfigurationError,
+            TraceError,
+            TraceFormatError,
+            PolicyError,
+            UnknownPolicyError,
+            GraphError,
+            WorkloadError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+
+    def test_trace_format_is_trace_error(self):
+        assert issubclass(TraceFormatError, TraceError)
+
+    def test_unknown_policy_is_policy_error(self):
+        assert issubclass(UnknownPolicyError, PolicyError)

@@ -1,0 +1,114 @@
+"""Integration tests for the simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulator import build_hierarchy, simulate
+from repro.errors import ConfigurationError
+from repro.policies.basic import LRUPolicy
+from repro.trace import synthetic
+
+from conftest import make_trace
+
+
+class TestBasicRuns:
+    def test_returns_result_with_all_levels(self, small_machine):
+        t = synthetic.working_set_loop(5000, set_bytes=8192)
+        r = simulate(t, config=small_machine)
+        assert set(r.levels) == {"L1I", "L1D", "L2C", "LLC"}
+        assert r.policy == "lru"
+        assert r.workload == t.name
+
+    def test_instructions_match_measured_window(self, small_machine):
+        t = synthetic.streaming(1000, stride=64)
+        r = simulate(t, config=small_machine, warmup_fraction=0.0)
+        assert r.instructions == t.num_instructions
+
+    def test_warmup_excluded_from_stats(self, small_machine):
+        t = synthetic.streaming(1000, stride=64)
+        r = simulate(t, config=small_machine, warmup_fraction=0.5)
+        assert r.levels["L1D"].demand_accesses == 500
+
+    def test_invalid_warmup_rejected(self, small_machine):
+        t = synthetic.streaming(10)
+        with pytest.raises(ConfigurationError):
+            simulate(t, config=small_machine, warmup_fraction=1.0)
+
+    def test_policy_by_instance(self, small_machine):
+        t = synthetic.streaming(100)
+        r = simulate(t, config=small_machine, llc_policy=LRUPolicy())
+        assert r.policy == "lru"
+
+    def test_ipc_positive(self, small_machine):
+        t = synthetic.working_set_loop(2000, set_bytes=4096)
+        assert simulate(t, config=small_machine).ipc > 0
+
+
+class TestDeterminism:
+    def test_same_trace_same_result(self, small_machine):
+        t = synthetic.zipf_reuse(5000, num_blocks=2048, seed=9)
+        a = simulate(t, config=small_machine, llc_policy="drrip")
+        b = simulate(t, config=small_machine, llc_policy="drrip")
+        assert a.cycles == b.cycles
+        assert a.levels["LLC"].demand_hits == b.levels["LLC"].demand_hits
+
+    def test_random_policy_deterministic_via_seed(self, small_machine):
+        t = synthetic.zipf_reuse(3000, num_blocks=2048, seed=9)
+        a = simulate(t, config=small_machine, llc_policy="random")
+        b = simulate(t, config=small_machine, llc_policy="random")
+        assert a.cycles == b.cycles
+
+
+class TestBehaviour:
+    def test_resident_working_set_hits_l1(self, small_machine):
+        t = synthetic.working_set_loop(8000, set_bytes=2048)  # fits 4 KB L1
+        r = simulate(t, config=small_machine)
+        assert r.levels["L1D"].demand_hit_rate > 0.9
+
+    def test_llc_sized_set_misses_l2_hits_llc(self, small_machine):
+        # 24 KB working set: above the 16 KB L2, inside the 32 KB LLC.
+        t = synthetic.working_set_loop(20000, set_bytes=24 * 1024)
+        r = simulate(t, config=small_machine)
+        assert r.levels["L2C"].demand_hit_rate < 0.7
+        assert r.levels["LLC"].demand_hit_rate > 0.5
+
+    def test_streaming_misses_everywhere(self, small_machine):
+        t = synthetic.streaming(20000, stride=64)
+        r = simulate(t, config=small_machine, warmup_fraction=0.1)
+        assert r.levels["LLC"].demand_hit_rate < 0.05
+        assert r.l1d_miss_dram_fraction > 0.9
+
+    def test_speedup_over(self, small_machine):
+        t = synthetic.strided(20000, stride=64, elements=600)  # thrash LLC
+        lru = simulate(t, config=small_machine, llc_policy="lru")
+        brrip = simulate(t, config=small_machine, llc_policy="brrip")
+        assert brrip.speedup_over(lru) > 1.0
+
+    def test_speedup_requires_same_workload(self, small_machine):
+        a = simulate(synthetic.streaming(100), config=small_machine)
+        t2 = synthetic.streaming(100)
+        t2.name = "other"
+        b = simulate(t2, config=small_machine)
+        with pytest.raises(ValueError, match="same workload"):
+            a.speedup_over(b)
+
+
+class TestResultDerived:
+    def test_mpki_definition(self, small_machine):
+        t = synthetic.streaming(1000, stride=64, gap=10)
+        r = simulate(t, config=small_machine, warmup_fraction=0.0)
+        level = r.levels["L1D"]
+        assert r.mpki("L1D") == pytest.approx(
+            1000.0 * level.demand_misses / r.instructions
+        )
+
+    def test_summary_contains_key_fields(self, small_machine):
+        t = synthetic.streaming(500)
+        s = simulate(t, config=small_machine).summary()
+        assert "IPC" in s and "MPKI" in s
+
+    def test_reused_hierarchy_override(self, small_machine):
+        t = synthetic.streaming(500)
+        h = build_hierarchy(small_machine, "srrip")
+        r = simulate(t, config=small_machine, hierarchy=h)
+        assert r.policy == "srrip"

@@ -1,0 +1,148 @@
+"""Tests for the SPEC proxy suites."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.spec import (
+    build_spec_workload,
+    spec06_workloads,
+    spec17_workloads,
+    spec_suite,
+)
+from repro.spec.patterns import (
+    banded_stride,
+    phased_mix,
+    pointer_working_set,
+    scan_plus_resident,
+    skewed_reuse,
+    thrash_cycle,
+)
+
+
+class TestSuiteContents:
+    def test_spec06_has_the_canonical_benchmarks(self):
+        names = spec06_workloads()
+        for expected in ("mcf", "omnetpp", "libquantum", "soplex", "milc"):
+            assert expected in names
+        assert len(names) >= 10
+
+    def test_spec17_has_rate_suffixed_names(self):
+        names = spec17_workloads()
+        assert "mcf_r" in names
+        assert "lbm_r" in names
+        assert len(names) >= 10
+
+    def test_workload_names_carry_suite_prefix(self):
+        t = build_spec_workload("spec06", "mcf", num_accesses=100)
+        assert t.name == "spec06.mcf"
+
+    def test_suite_builds_all(self):
+        traces = spec_suite("spec06", num_accesses=500)
+        assert len(traces) == len(spec06_workloads())
+        for name, t in traces.items():
+            assert len(t) >= 400, name  # phased mixes may round down a little
+
+    def test_selected_workloads(self):
+        traces = spec_suite("spec17", num_accesses=500, workloads=["mcf_r"])
+        assert list(traces) == ["spec17.mcf_r"]
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(WorkloadError, match="spec06 or spec17"):
+            build_spec_workload("spec99", "mcf")
+
+    def test_unknown_workload_raises_with_available_list(self):
+        with pytest.raises(WorkloadError, match="available"):
+            build_spec_workload("spec06", "nonesuch")
+
+    def test_rejects_nonpositive_accesses(self):
+        with pytest.raises(WorkloadError):
+            build_spec_workload("spec06", "mcf", num_accesses=0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("suite", ["spec06", "spec17"])
+    def test_rebuild_is_identical(self, suite):
+        names = (spec06_workloads() if suite == "spec06" else spec17_workloads())[:3]
+        a = spec_suite(suite, num_accesses=2000, workloads=names)
+        b = spec_suite(suite, num_accesses=2000, workloads=names)
+        for name in a:
+            assert np.array_equal(a[name].records, b[name].records), name
+
+
+class TestBehaviourClasses:
+    def test_proxies_have_distinct_footprints(self):
+        # Long enough that the bounded working set saturates (32768
+        # blocks) while the stream keeps growing one block per access.
+        streaming = build_spec_workload("spec06", "libquantum", 120_000)
+        resident = build_spec_workload("spec06", "sphinx3", 120_000)
+        assert streaming.footprint_blocks() > 3 * resident.footprint_blocks()
+
+    def test_proxies_are_pc_rich_compared_to_gap(self):
+        """SPEC proxies must have the many-PC structure GAP lacks."""
+        from repro.trace.stats import compute_trace_stats
+
+        t = build_spec_workload("spec06", "sphinx3", 20_000)
+        stats = compute_trace_stats(t)
+        assert stats.num_pcs >= 8
+
+    def test_mcf_proxy_mixes_chase_and_resident(self):
+        t = build_spec_workload("spec06", "mcf", 30_000)
+        # Two distinct address regions: the chase structure and metadata.
+        regions = np.unique(t.addrs >> np.uint64(32))
+        assert len(regions) >= 2
+
+
+class TestPatternBuilders:
+    def test_scan_plus_resident_fraction(self):
+        t = scan_plus_resident(10_000, resident_bytes=64 * 1024, scan_fraction=0.5)
+        # Scan addresses live in their own high region.
+        scan_accesses = np.count_nonzero(t.addrs >= 0x7000_0000)
+        assert 0.3 < scan_accesses / len(t) < 0.7
+
+    def test_thrash_cycle_footprint(self):
+        t = thrash_cycle(5000, cycle_bytes=64 * 128)
+        assert t.footprint_blocks() == 128
+
+    def test_pointer_working_set_interleaves(self):
+        t = pointer_working_set(
+            9000, structure_bytes=64 * 1024, resident_bytes=16 * 1024
+        )
+        assert len(t) > 8000
+
+    def test_skewed_reuse_hot_head(self):
+        t = skewed_reuse(20_000, footprint_bytes=64 * 4096, skew=1.1)
+        _, counts = np.unique(t.block_addrs(), return_counts=True)
+        assert counts.max() > 20
+
+    def test_banded_stride_uses_bands(self):
+        t = banded_stride(8000, band_bytes=64 * 1024, num_bands=4)
+        regions = np.unique(t.addrs >> np.uint64(32))
+        assert len(regions) == 4
+
+    def test_phased_mix_has_phases(self):
+        t = phased_mix(8000, resident_bytes=32 * 1024, scan_bytes=128 * 1024)
+        # First and last quarters live in different 256 MiB regions.
+        first = t.addrs[: len(t) // 4]
+        last = t.addrs[-len(t) // 4 :]
+        assert (first >> np.uint64(28)).max() != (last >> np.uint64(28)).max()
+
+
+class TestSpec17BehaviourClasses:
+    def test_mcf_r_larger_than_mcf(self):
+        mcf06 = build_spec_workload("spec06", "mcf", 60_000)
+        mcf17 = build_spec_workload("spec17", "mcf_r", 60_000)
+        assert mcf17.footprint_blocks() > mcf06.footprint_blocks()
+
+    def test_x264_is_llc_resident(self):
+        t = build_spec_workload("spec17", "x264_r", 60_000)
+        # 896 KiB working set: below the 1.375 MiB LLC.
+        assert t.footprint_bytes() < 1408 * 1024
+
+    def test_fotonik_is_thrash_class(self):
+        t = build_spec_workload("spec17", "fotonik3d_r", 150_000)
+        # Cyclic: once the trace wraps, footprint equals the cycle size.
+        assert t.footprint_blocks() == (4 * 1024 * 1024) // 64
+
+    def test_suites_do_not_share_names(self):
+        assert not (set(spec06_workloads()) & set(spec17_workloads()))

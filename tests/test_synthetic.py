@@ -1,0 +1,128 @@
+"""Tests for the synthetic access-pattern primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace import synthetic
+
+
+class TestStreaming:
+    def test_addresses_are_sequential(self):
+        t = synthetic.streaming(10, stride=64, base=1000)
+        assert t.addrs.tolist() == [1000 + 64 * i for i in range(10)]
+
+    def test_no_reuse(self):
+        t = synthetic.streaming(100)
+        assert t.footprint_blocks() == 100
+
+    def test_store_fraction(self):
+        t = synthetic.streaming(1000, store_fraction=0.5)
+        stores = int(np.count_nonzero(t.kinds == 1))
+        assert 300 < stores < 700
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            synthetic.streaming(0)
+
+
+class TestStrided:
+    def test_wraps_around(self):
+        t = synthetic.strided(6, stride=64, elements=3, base=0)
+        assert t.addrs.tolist() == [0, 64, 128, 0, 64, 128]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(WorkloadError):
+            synthetic.strided(5, stride=0, elements=3)
+
+
+class TestWorkingSet:
+    def test_footprint_bounded(self):
+        t = synthetic.working_set_loop(5000, set_bytes=64 * 32)
+        assert t.footprint_blocks() <= 32
+
+    def test_deterministic(self):
+        a = synthetic.working_set_loop(100, set_bytes=4096, seed=3)
+        b = synthetic.working_set_loop(100, set_bytes=4096, seed=3)
+        assert np.array_equal(a.records, b.records)
+
+    def test_different_seeds_differ(self):
+        a = synthetic.working_set_loop(100, set_bytes=4096, seed=3)
+        b = synthetic.working_set_loop(100, set_bytes=4096, seed=4)
+        assert not np.array_equal(a.addrs, b.addrs)
+
+    def test_pcs_correlate_with_regions(self):
+        """Each PC only touches its slice of the working set."""
+        t = synthetic.working_set_loop(5000, set_bytes=64 * 64, num_pcs=4)
+        for pc in np.unique(t.pcs):
+            blocks = np.unique(t.block_addrs()[t.pcs == pc])
+            assert blocks.size <= 64 // 4 + 1
+
+    def test_rejects_tiny_set(self):
+        with pytest.raises(WorkloadError):
+            synthetic.working_set_loop(10, set_bytes=32)
+
+
+class TestPointerChase:
+    def test_visits_form_a_cycle(self):
+        t = synthetic.pointer_chase(50, num_nodes=10, node_bytes=64, base=0)
+        blocks = t.block_addrs()
+        # A permutation cycle revisits nodes with a fixed period.
+        first_block = blocks[0]
+        revisits = np.nonzero(blocks == first_block)[0]
+        assert len(revisits) >= 2
+        period = revisits[1] - revisits[0]
+        assert np.array_equal(blocks[:period], blocks[period : 2 * period])
+
+    def test_rejects_single_node(self):
+        with pytest.raises(WorkloadError):
+            synthetic.pointer_chase(10, num_nodes=1)
+
+
+class TestZipf:
+    def test_skew_concentrates_accesses(self):
+        t = synthetic.zipf_reuse(20000, num_blocks=1000, skew=1.2)
+        blocks, counts = np.unique(t.block_addrs(), return_counts=True)
+        top_share = np.sort(counts)[-10:].sum() / counts.sum()
+        assert top_share > 0.2  # top-10 blocks absorb a big share
+
+    def test_rejects_bad_skew(self):
+        with pytest.raises(WorkloadError):
+            synthetic.zipf_reuse(10, num_blocks=10, skew=0)
+
+
+class TestRandomUniform:
+    def test_footprint_bounded(self):
+        t = synthetic.random_uniform(1000, footprint_bytes=64 * 100)
+        assert t.footprint_blocks() <= 100
+
+
+class TestCombinators:
+    def test_interleave_round_robin(self):
+        a = synthetic.streaming(4, stride=64, base=0)
+        b = synthetic.streaming(4, stride=64, base=1 << 20)
+        mix = synthetic.interleave([a, b])
+        assert mix.addrs.tolist()[:4] == [0, 1 << 20, 64, (1 << 20) + 64]
+
+    def test_interleave_pattern(self):
+        a = synthetic.streaming(4, stride=64, base=0)
+        b = synthetic.streaming(2, stride=64, base=1 << 20)
+        mix = synthetic.interleave([a, b], pattern=[2, 1])
+        assert mix.addrs.tolist() == [0, 64, 1 << 20, 128, 192, (1 << 20) + 64]
+
+    def test_interleave_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            synthetic.interleave([])
+
+    def test_interleave_rejects_bad_pattern(self):
+        a = synthetic.streaming(4)
+        with pytest.raises(WorkloadError):
+            synthetic.interleave([a], pattern=[0])
+
+    def test_phased_concatenates(self):
+        a = synthetic.streaming(3, base=0)
+        b = synthetic.streaming(3, base=1 << 20)
+        t = synthetic.phased([a, b])
+        assert len(t) == 6
+        assert t.addrs[0] == 0
+        assert t.addrs[3] == 1 << 20

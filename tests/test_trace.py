@@ -1,0 +1,123 @@
+"""Unit tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.record import TRACE_DTYPE, Access, AccessKind
+from repro.trace.trace import Trace
+
+from conftest import make_trace
+
+
+class TestConstruction:
+    def test_from_arrays(self):
+        t = make_trace([0, 64, 128])
+        assert len(t) == 3
+        assert t.num_accesses == 3
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TraceError, match="TRACE_DTYPE"):
+            Trace(np.zeros(4, dtype=np.uint64))
+
+    def test_rejects_2d(self):
+        with pytest.raises(TraceError, match="1-D"):
+            Trace(np.zeros((2, 2), dtype=TRACE_DTYPE))
+
+    def test_rejects_zero_gap(self):
+        with pytest.raises(TraceError, match="gap >= 1"):
+            make_trace([0, 64], gaps=[1, 0])
+
+    def test_records_are_readonly(self):
+        t = make_trace([0, 64])
+        with pytest.raises(ValueError):
+            t.records["addr"][0] = 1
+
+    def test_empty_trace(self):
+        t = Trace(np.empty(0, dtype=TRACE_DTYPE))
+        assert len(t) == 0
+        assert t.num_instructions == 0
+        assert t.footprint_blocks() == 0
+
+
+class TestDerived:
+    def test_num_instructions_sums_gaps(self):
+        t = make_trace([0, 64, 128], gaps=[2, 3, 4])
+        assert t.num_instructions == 9
+
+    def test_footprint_counts_distinct_blocks(self):
+        # addresses 0 and 63 share a block; 64 is another block
+        t = make_trace([0, 63, 64])
+        assert t.footprint_blocks() == 2
+        assert t.footprint_bytes() == 128
+
+    def test_block_addrs(self):
+        t = make_trace([0, 64, 130])
+        assert t.block_addrs().tolist() == [0, 1, 2]
+
+    def test_component_arrays(self):
+        t = make_trace([0, 64], pcs=[5, 6], kinds=[0, 1], gaps=[1, 2])
+        assert t.addrs.tolist() == [0, 64]
+        assert t.pcs.tolist() == [5, 6]
+        assert t.kinds.tolist() == [0, 1]
+        assert t.gaps.tolist() == [1, 2]
+
+
+class TestProtocol:
+    def test_iteration_yields_access(self):
+        t = make_trace([64], pcs=[9], kinds=[1], gaps=[2])
+        (access,) = list(t)
+        assert isinstance(access, Access)
+        assert access.addr == 64
+        assert access.pc == 9
+        assert access.kind == AccessKind.STORE
+        assert access.gap == 2
+
+    def test_indexing_returns_access(self):
+        t = make_trace([0, 64])
+        assert t[1].addr == 64
+
+    def test_slicing_returns_trace(self):
+        t = make_trace([0, 64, 128], name="abc")
+        s = t[1:]
+        assert isinstance(s, Trace)
+        assert len(s) == 2
+        assert s.name == "abc"
+
+    def test_head(self):
+        t = make_trace([0, 64, 128])
+        assert len(t.head(2)) == 2
+
+    def test_repr_contains_name_and_counts(self):
+        t = make_trace([0, 64], name="myname")
+        assert "myname" in repr(t)
+        assert "2" in repr(t)
+
+
+class TestConcat:
+    def test_concat_preserves_order_and_length(self):
+        a = make_trace([0], name="a")
+        b = make_trace([64, 128], name="b")
+        c = Trace.concat([a, b])
+        assert len(c) == 3
+        assert c.addrs.tolist() == [0, 64, 128]
+
+    def test_concat_name_and_parts(self):
+        a = make_trace([0], name="a")
+        b = make_trace([64], name="b")
+        c = Trace.concat([a, b])
+        assert c.name == "a+b"
+        assert c.info["parts"] == ["a", "b"]
+
+    def test_concat_explicit_name(self):
+        c = Trace.concat([make_trace([0], name="a")], name="z")
+        assert c.name == "z"
+
+    def test_concat_empty_list_raises(self):
+        with pytest.raises(TraceError, match="empty"):
+            Trace.concat([])
+
+    def test_concat_sums_instructions(self):
+        a = make_trace([0], gaps=[3])
+        b = make_trace([64], gaps=[4])
+        assert Trace.concat([a, b]).num_instructions == 7

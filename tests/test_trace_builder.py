@@ -1,0 +1,135 @@
+"""Unit tests for TraceBuilder: gaps, chunking, limits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.builder import TraceBuilder, _CHUNK
+from repro.trace.record import AccessKind
+
+
+class TestAccessPath:
+    def test_single_access(self):
+        b = TraceBuilder()
+        b.access(64, 0x400, AccessKind.LOAD)
+        t = b.build()
+        assert len(t) == 1
+        assert t[0].addr == 64
+        assert t[0].gap == 1
+
+    def test_tick_folds_into_next_gap(self):
+        b = TraceBuilder()
+        b.tick(5)
+        b.access(64, 0)
+        assert b.build()[0].gap == 6
+
+    def test_tick_negative_raises(self):
+        b = TraceBuilder()
+        with pytest.raises(TraceError, match=">= 0"):
+            b.tick(-1)
+
+    def test_many_accesses_cross_chunk_boundary(self):
+        b = TraceBuilder()
+        for i in range(_CHUNK + 10):
+            b.access(i * 64, 0)
+        t = b.build()
+        assert len(t) == _CHUNK + 10
+        assert t.addrs[-1] == (_CHUNK + 9) * 64
+
+
+class TestExtendPath:
+    def test_extend_with_scalars(self):
+        b = TraceBuilder()
+        b.extend(np.array([0, 64], dtype=np.uint64), 7, AccessKind.STORE, gaps=3)
+        t = b.build()
+        assert t.pcs.tolist() == [7, 7]
+        assert t.kinds.tolist() == [1, 1]
+        assert t.gaps.tolist() == [3, 3]
+
+    def test_extend_with_arrays(self):
+        b = TraceBuilder()
+        b.extend(
+            np.array([0, 64], dtype=np.uint64),
+            np.array([1, 2], dtype=np.uint64),
+            np.array([0, 1], dtype=np.uint8),
+            np.array([4, 5], dtype=np.uint32),
+        )
+        t = b.build()
+        assert t.pcs.tolist() == [1, 2]
+        assert t.gaps.tolist() == [4, 5]
+
+    def test_pending_tick_folds_into_first_of_extend(self):
+        b = TraceBuilder()
+        b.tick(10)
+        b.extend(np.array([0, 64], dtype=np.uint64), 0, gaps=2)
+        assert b.build().gaps.tolist() == [12, 2]
+
+    def test_extend_empty_is_noop(self):
+        b = TraceBuilder()
+        b.extend(np.empty(0, dtype=np.uint64), 0)
+        assert len(b.build()) == 0
+
+    def test_mixed_access_and_extend_preserves_order(self):
+        b = TraceBuilder()
+        b.access(0, 0)
+        b.extend(np.array([64, 128], dtype=np.uint64), 0)
+        b.access(192, 0)
+        assert b.build().addrs.tolist() == [0, 64, 128, 192]
+
+    def test_large_extend_goes_to_chunk_list(self):
+        b = TraceBuilder()
+        big = np.arange(_CHUNK + 5, dtype=np.uint64) * 64
+        b.extend(big, 0)
+        t = b.build()
+        assert len(t) == _CHUNK + 5
+        assert t.addrs[-1] == big[-1]
+
+    def test_num_accesses_is_consistent(self):
+        b = TraceBuilder()
+        b.access(0, 0)
+        b.extend(np.arange(100, dtype=np.uint64) * 64, 0)
+        assert b.num_accesses == 101
+        b.extend(np.arange(_CHUNK + 1, dtype=np.uint64), 0)
+        assert b.num_accesses == 101 + _CHUNK + 1
+
+
+class TestLimit:
+    def test_limit_truncates_exactly(self):
+        b = TraceBuilder(limit=3)
+        b.extend(np.arange(10, dtype=np.uint64) * 64, 0)
+        assert len(b.build()) == 3
+
+    def test_full_flag(self):
+        b = TraceBuilder(limit=2)
+        assert not b.full
+        b.access(0, 0)
+        assert not b.full
+        b.access(64, 0)
+        assert b.full
+
+    def test_appends_after_full_are_dropped(self):
+        b = TraceBuilder(limit=1)
+        b.access(0, 0)
+        b.access(64, 0)
+        b.extend(np.array([128], dtype=np.uint64), 0)
+        t = b.build()
+        assert len(t) == 1
+        assert t.addrs.tolist() == [0]
+
+    def test_invalid_limit_raises(self):
+        with pytest.raises(TraceError, match="limit"):
+            TraceBuilder(limit=0)
+
+    def test_no_limit_never_full(self):
+        b = TraceBuilder()
+        b.extend(np.arange(1000, dtype=np.uint64), 0)
+        assert not b.full
+
+
+class TestMetadata:
+    def test_name_and_info_propagate(self):
+        b = TraceBuilder(name="xyz", info={"k": 1})
+        b.access(0, 0)
+        t = b.build()
+        assert t.name == "xyz"
+        assert t.info["k"] == 1

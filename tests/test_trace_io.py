@@ -1,0 +1,66 @@
+"""Round-trip and error-path tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.io import FORMAT_VERSION, load_trace, save_trace
+
+from conftest import make_trace
+
+
+class TestRoundTrip:
+    def test_records_survive(self, tmp_path):
+        t = make_trace([0, 64, 128], pcs=[1, 2, 3], kinds=[0, 1, 0], gaps=[1, 2, 3])
+        path = save_trace(t, tmp_path / "t")
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.records, t.records)
+
+    def test_name_and_info_survive(self, tmp_path):
+        t = make_trace([0], name="gap.bfs")
+        t.info["kernel"] = "bfs"
+        loaded = load_trace(save_trace(t, tmp_path / "t"))
+        assert loaded.name == "gap.bfs"
+        assert loaded.info["kernel"] == "bfs"
+
+    def test_npz_suffix_added(self, tmp_path):
+        path = save_trace(make_trace([0]), tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        t = make_trace([])
+        loaded = load_trace(save_trace(t, tmp_path / "e"))
+        assert len(loaded) == 0
+
+
+class TestErrorPaths:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_not_a_trace_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(TraceFormatError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip file")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_version_is_checked(self, tmp_path):
+        import json
+
+        t = make_trace([0])
+        meta = {"version": FORMAT_VERSION + 1, "name": "x", "info": {}}
+        path = tmp_path / "future.npz"
+        with open(path, "wb") as f:
+            np.savez(
+                f,
+                records=t.records,
+                meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            )
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(path)

@@ -1,0 +1,84 @@
+"""Unit tests for trace records and the structured dtype."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import TRACE_DTYPE, Access, AccessKind, make_records
+
+
+class TestAccessKind:
+    def test_values_match_champsim_order(self):
+        assert AccessKind.LOAD == 0
+        assert AccessKind.STORE == 1
+        assert AccessKind.IFETCH == 2
+        assert AccessKind.PREFETCH == 3
+        assert AccessKind.WRITEBACK == 4
+
+    def test_stores_are_writes(self):
+        assert AccessKind.STORE.is_write
+        assert AccessKind.WRITEBACK.is_write
+
+    def test_loads_are_not_writes(self):
+        assert not AccessKind.LOAD.is_write
+        assert not AccessKind.IFETCH.is_write
+        assert not AccessKind.PREFETCH.is_write
+
+
+class TestTraceDtype:
+    def test_field_names(self):
+        assert TRACE_DTYPE.names == ("addr", "pc", "kind", "gap")
+
+    def test_addr_is_64_bit(self):
+        assert TRACE_DTYPE["addr"] == np.uint64
+
+    def test_record_size_is_compact(self):
+        # 8 + 8 + 1 + 4 = 21 bytes packed; numpy may pad, but the record
+        # must stay well under 32 bytes for multi-million-access traces.
+        assert TRACE_DTYPE.itemsize <= 32
+
+
+class TestMakeRecords:
+    def test_roundtrip_values(self):
+        records = make_records(
+            np.array([64, 128], dtype=np.uint64),
+            np.array([1, 2], dtype=np.uint64),
+            np.array([0, 1], dtype=np.uint8),
+            np.array([1, 5], dtype=np.uint32),
+        )
+        assert records["addr"].tolist() == [64, 128]
+        assert records["pc"].tolist() == [1, 2]
+        assert records["kind"].tolist() == [0, 1]
+        assert records["gap"].tolist() == [1, 5]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            make_records(
+                np.zeros(3, dtype=np.uint64),
+                np.zeros(2, dtype=np.uint64),
+                np.zeros(3, dtype=np.uint8),
+                np.zeros(3, dtype=np.uint32),
+            )
+
+    def test_empty_is_fine(self):
+        records = make_records(
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=np.uint8),
+            np.empty(0, dtype=np.uint32),
+        )
+        assert len(records) == 0
+        assert records.dtype == TRACE_DTYPE
+
+
+class TestAccess:
+    def test_is_write_property(self):
+        store = Access(64, 0, AccessKind.STORE, 1)
+        load = Access(64, 0, AccessKind.LOAD, 1)
+        assert store.is_write
+        assert not load.is_write
+
+    def test_namedtuple_fields(self):
+        a = Access(64, 7, AccessKind.LOAD, 3)
+        assert a.addr == 64
+        assert a.pc == 7
+        assert a.gap == 3

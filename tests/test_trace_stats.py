@@ -1,0 +1,77 @@
+"""Tests for trace-level statistics (the E2 characterization inputs)."""
+
+import math
+
+import pytest
+
+from repro.trace.record import AccessKind
+from repro.trace.stats import compute_trace_stats
+
+from conftest import make_trace
+
+
+class TestBasicCounts:
+    def test_empty_trace(self):
+        stats = compute_trace_stats(make_trace([]))
+        assert stats.num_accesses == 0
+        assert stats.num_pcs == 0
+
+    def test_access_and_instruction_counts(self):
+        stats = compute_trace_stats(make_trace([0, 64], gaps=[2, 3]))
+        assert stats.num_accesses == 2
+        assert stats.num_instructions == 5
+
+    def test_apki(self):
+        stats = compute_trace_stats(make_trace([0] * 10, gaps=10))
+        assert stats.accesses_per_kilo_instruction == pytest.approx(100.0)
+
+
+class TestMix:
+    def test_kind_fractions(self):
+        t = make_trace(
+            [0, 64, 128, 192],
+            kinds=[
+                int(AccessKind.LOAD),
+                int(AccessKind.LOAD),
+                int(AccessKind.STORE),
+                int(AccessKind.IFETCH),
+            ],
+        )
+        stats = compute_trace_stats(t)
+        assert stats.load_fraction == pytest.approx(0.5)
+        assert stats.store_fraction == pytest.approx(0.25)
+        assert stats.ifetch_fraction == pytest.approx(0.25)
+
+
+class TestPCCharacterization:
+    def test_single_pc_entropy_is_zero(self):
+        stats = compute_trace_stats(make_trace([0, 64, 128], pcs=7))
+        assert stats.num_pcs == 1
+        assert stats.pc_entropy_bits == pytest.approx(0.0)
+
+    def test_uniform_two_pcs_entropy_is_one_bit(self):
+        stats = compute_trace_stats(make_trace([0, 64], pcs=[1, 2]))
+        assert stats.pc_entropy_bits == pytest.approx(1.0)
+
+    def test_blocks_per_pc(self):
+        # PC 1 touches blocks {0, 1}; PC 2 touches block {2} twice.
+        t = make_trace([0, 64, 128, 128], pcs=[1, 1, 2, 2])
+        stats = compute_trace_stats(t)
+        assert stats.blocks_per_pc == {1: 2, 2: 1}
+        assert stats.mean_blocks_per_pc == pytest.approx(1.5)
+        assert stats.max_blocks_per_pc == 2
+
+    def test_footprint(self):
+        stats = compute_trace_stats(make_trace([0, 8, 64]))
+        assert stats.footprint_blocks == 2
+
+    def test_gap_vs_spec_shape(self):
+        """A GAP-like trace (1 PC, many blocks) vs a SPEC-like one."""
+        gap_like = make_trace([i * 64 for i in range(100)], pcs=1)
+        spec_like = make_trace(
+            [(i % 10) * 64 for i in range(100)], pcs=[i % 10 + 1 for i in range(100)]
+        )
+        g = compute_trace_stats(gap_like)
+        s = compute_trace_stats(spec_like)
+        assert g.num_pcs < s.num_pcs
+        assert g.mean_blocks_per_pc > s.mean_blocks_per_pc

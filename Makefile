@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test bench examples experiments lint typecheck clean
 
 install:
 	pip install -e .[dev]
@@ -29,6 +29,22 @@ examples:
 experiments:
 	$(PYTHON) -m repro experiment table1
 	$(PYTHON) -m repro experiment e11
+
+# Policy-contract analyzer (always available) + ruff (if installed).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping style checks (CI runs them)"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping type checks (CI runs them)"; \
+	fi
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks

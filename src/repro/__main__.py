@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common workflows without writing a script:
+Four subcommands cover the common workflows without writing a script:
 
 * ``simulate`` — trace one workload and run it under one policy;
 * ``sweep`` — a (workload x policy) matrix with speed-ups over LRU;
-* ``experiment`` — regenerate one of the paper's tables/figures.
+* ``experiment`` — regenerate one of the paper's tables/figures;
+* ``lint`` — run the policy-contract static analyzer (and, with
+  ``--sanitize-selftest``, the runtime invariant sanitizer).
 """
 
 from __future__ import annotations
@@ -68,7 +70,8 @@ def _build_trace(workload: str, window: int):
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Trace one workload and simulate it under one policy."""
     trace = _build_trace(args.workload, args.window)
-    result = simulate(trace, config=cascade_lake(), llc_policy=args.policy)
+    result = simulate(trace, config=cascade_lake(), llc_policy=args.policy,
+                      sanitize=args.sanitize)
     print(result.summary())
     print(format_table(
         ["level", "demand accesses", "hit rate", "MPKI"],
@@ -88,6 +91,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     matrix = run_matrix(
         traces, policies, config=cascade_lake(),
         progress=lambda w, p: print(f"  running {w} x {p} ...", file=sys.stderr),
+        sanitize=args.sanitize,
     )
     rows = [
         [w, *[matrix.speedup(w, p) for p in policies[1:]]]
@@ -115,6 +119,69 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sanitize_selftest() -> int:
+    """Run every paper policy over synthetic traces with the sanitizer armed.
+
+    The invariant checks fire on every cache operation; completing at all
+    means zero violations. Returns the number of checks executed.
+    """
+    from .core.config import small_test_machine
+    from .trace import synthetic
+
+    traces = {
+        "synthetic.zipf": synthetic.zipf_reuse(6000, num_blocks=600, seed=7),
+        "synthetic.stream": synthetic.strided(6000, stride=64, elements=300),
+        "synthetic.chase": synthetic.pointer_chase(6000, num_nodes=500, seed=3),
+    }
+    config = small_test_machine()
+    checks = 0
+    for name, trace in traces.items():
+        for policy in (BASELINE_POLICY, *PAPER_POLICIES):
+            result = simulate(trace, config=config, llc_policy=policy,
+                              sanitize=True)
+            checks += result.info["sanitizer_checks"]
+            print(f"  {name} x {policy}: "
+                  f"{result.info['sanitizer_checks']} checks, "
+                  f"{result.info['sanitizer_evictions_verified']} evictions verified",
+                  file=sys.stderr)
+    return checks
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyzer (and optionally the sanitizer selftest)."""
+    from .lint import Severity, available_rules, lint_paths, lint_tree, make_rule
+
+    if args.list_rules:
+        for name in available_rules():
+            rule = make_rule(name)
+            print(f"{name} ({rule.severity}): {rule.description}")
+        return 0
+
+    rules = [make_rule(name) for name in args.rules] if args.rules else None
+    if args.paths:
+        findings = lint_paths(args.paths, rules)
+    else:
+        findings = lint_tree(rules=rules)
+
+    for finding in findings:
+        print(finding.render())
+    errors = sum(1 for f in findings if f.severity >= Severity.ERROR)
+    warnings = len(findings) - errors
+    print(f"lint: {errors} error(s), {warnings} warning(s)", file=sys.stderr)
+
+    rc = 0
+    if errors or (args.strict and warnings):
+        rc = 1
+
+    if args.sanitize_selftest:
+        print("sanitize selftest: paper policies over synthetic traces ...",
+              file=sys.stderr)
+        checks = _sanitize_selftest()
+        print(f"sanitize selftest: {checks} invariant checks, 0 violations",
+              file=sys.stderr)
+    return rc
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Regenerate one paper table/figure (optionally with a chart)."""
     report = EXPERIMENTS[args.name]()
@@ -139,13 +206,33 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument("--policy", default="lru", choices=available_policies())
     p_sim.add_argument("--window", type=int, default=200_000,
                        help="traced accesses (default 200k)")
+    p_sim.add_argument("--sanitize", action="store_true",
+                       help="arm runtime invariant checks on every cache level")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_sweep = sub.add_parser("sweep", help="(workload x policy) speed-up matrix")
     p_sweep.add_argument("workloads", nargs="+")
     p_sweep.add_argument("--policies", nargs="*", choices=available_policies())
     p_sweep.add_argument("--window", type=int, default=200_000)
+    p_sweep.add_argument("--sanitize", action="store_true",
+                         help="arm runtime invariant checks on every cache level")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_lint = sub.add_parser(
+        "lint", help="policy-contract static analyzer + invariant sanitizer")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the live "
+                             "repro package plus registry checks)")
+    p_lint.add_argument("--rules", nargs="*", metavar="RULE",
+                        help="subset of rules to run (default: all)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too")
+    p_lint.add_argument("--sanitize-selftest", action="store_true",
+                        help="also run the paper policies over synthetic "
+                             "traces with the runtime sanitizer armed")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))

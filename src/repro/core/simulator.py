@@ -98,6 +98,7 @@ def simulate(
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     l2_prefetcher: Prefetcher | None = None,
     hierarchy: CacheHierarchy | None = None,
+    sanitize: bool = False,
 ) -> SimulationResult:
     """Simulate ``trace`` on a machine and return measured statistics.
 
@@ -118,6 +119,11 @@ def simulate(
     hierarchy:
         Pre-built hierarchy to reuse (the OPT oracle harness passes one);
         overrides ``config``/``llc_policy``/``l2_prefetcher``.
+    sanitize:
+        Arm the runtime invariant sanitizer
+        (:mod:`repro.lint.sanitize`) on every cache level. Violations
+        raise :class:`~repro.lint.sanitize.SanitizerError`; the number
+        of checks executed lands in ``result.info["sanitizer_checks"]``.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigurationError(
@@ -127,6 +133,11 @@ def simulate(
         config = cascade_lake()
     if hierarchy is None:
         hierarchy = build_hierarchy(config, llc_policy, l2_prefetcher)
+    sanitizers = None
+    if sanitize:
+        from ..lint.sanitize import attach_sanitizers
+
+        sanitizers = attach_sanitizers(hierarchy)
     policy_name = hierarchy.llc.policy.name
 
     warmup_end = int(len(trace) * warmup_fraction)
@@ -140,14 +151,18 @@ def simulate(
     _run_accesses(hierarchy, core, trace, warmup_end, len(trace))
     core_stats = core.drain()
 
+    info = {
+        "warmup_accesses": warmup_end,
+        "measured_accesses": len(trace) - warmup_end,
+        **trace.info,
+    }
+    if sanitizers is not None:
+        info["sanitizer_checks"] = sanitizers.total_checks
+        info["sanitizer_evictions_verified"] = sanitizers.evictions_verified
     return snapshot_result(
         workload=trace.name,
         policy=policy_name,
         hierarchy=hierarchy,
         core_stats=core_stats,
-        info={
-            "warmup_accesses": warmup_end,
-            "measured_accesses": len(trace) - warmup_end,
-            **trace.info,
-        },
+        info=info,
     )

@@ -81,11 +81,14 @@ def run_matrix(
     config: MachineConfig | None = None,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     progress: Callable[[str, str], None] | None = None,
+    sanitize: bool = False,
 ) -> RunMatrix:
     """Simulate every (trace, policy) pair.
 
     ``progress`` (if given) is called with (workload, policy) before each
-    cell — benchmarks use it to narrate long sweeps.
+    cell — benchmarks use it to narrate long sweeps. ``sanitize`` arms
+    the runtime invariant sanitizer on every cell (CI runs the synthetic
+    sweeps this way; see docs/linting.md).
     """
     if isinstance(traces, list):
         traces = {t.name: t for t in traces}
@@ -102,6 +105,7 @@ def run_matrix(
                 config=config,
                 llc_policy=policy,
                 warmup_fraction=warmup_fraction,
+                sanitize=sanitize,
             )
         matrix.results[name] = row
     return matrix

@@ -1,0 +1,52 @@
+"""Structured lint findings.
+
+Every rule emits :class:`Finding` records rather than printing: the CLI,
+``make lint`` and the test-suite all consume the same objects, so a rule
+written once is automatically exercised everywhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is by increasing badness."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR", in reports
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    ``hint`` is a one-line suggested fix — every rule must provide one, so
+    a finding is actionable without reading the rule's implementation.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    hint: str
+
+    def render(self) -> str:
+        """The canonical ``file:line: severity [rule] message`` form."""
+        return (
+            f"{self.path}:{self.line}: {self.severity} [{self.rule}] "
+            f"{self.message}\n    hint: {self.hint}"
+        )
+
+
+def worst_severity(findings: list[Finding]) -> Severity | None:
+    """The highest severity present, or None for an empty list."""
+    if not findings:
+        return None
+    return max(f.severity for f in findings)

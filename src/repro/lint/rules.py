@@ -1,0 +1,86 @@
+"""Rule base class and registry.
+
+Mirrors :mod:`repro.policies.registry`: rules are registered under
+canonical lowercase names, instantiated fresh per run, and listed with
+:func:`available_rules`. Adding a check means subclassing :class:`Rule`
+and calling :func:`register_rule` — the CLI, ``make lint`` and the test
+suite pick it up with no further wiring (see docs/linting.md).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from ..errors import ReproError
+from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .model import LintContext
+
+
+class UnknownRuleError(ReproError):
+    """A lint rule name was not found in the rule registry."""
+
+
+class Rule(abc.ABC):
+    """One static check over a :class:`~repro.lint.model.LintContext`.
+
+    Subclasses set :attr:`name` (registry identifier), :attr:`severity`
+    (the severity of the findings they emit) and implement
+    :meth:`check`, yielding :class:`~repro.lint.findings.Finding`
+    records. Rules must be pure functions of the context: no mutation,
+    no filesystem access beyond what the context already parsed.
+    """
+
+    #: Registry name, e.g. ``"pc-writeback-guard"``.
+    name: str = "rule"
+
+    #: One-line description shown by ``repro lint --list-rules``.
+    description: str = ""
+
+    #: Severity of this rule's findings.
+    severity: Severity = Severity.ERROR
+
+    @abc.abstractmethod
+    def check(self, ctx: "LintContext") -> Iterator[Finding]:
+        """Yield findings for every violation visible in ``ctx``."""
+
+    def finding(self, path: str, line: int, message: str, hint: str) -> Finding:
+        """Construct a finding attributed to this rule."""
+        return Finding(
+            rule=self.name,
+            severity=self.severity,
+            path=path,
+            line=line,
+            message=message,
+            hint=hint,
+        )
+
+
+_REGISTRY: dict[str, Callable[[], Rule]] = {}
+
+
+def register_rule(name: str, factory: Callable[[], Rule]) -> None:
+    """Register (or replace) a rule factory under ``name``."""
+    _REGISTRY[name.lower()] = factory
+
+
+def make_rule(name: str) -> Rule:
+    """Create a fresh instance of the rule registered as ``name``."""
+    factory = _REGISTRY.get(name.lower())
+    if factory is None:
+        raise UnknownRuleError(
+            f"unknown lint rule {name!r}; available: {', '.join(available_rules())}"
+        )
+    return factory()
+
+
+def available_rules() -> list[str]:
+    """Sorted list of registered rule names."""
+    return sorted(_REGISTRY)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in name order."""
+    return [make_rule(name) for name in available_rules()]

@@ -14,10 +14,14 @@ address* is the byte address shifted right by ``block_bits``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError
 from ..policies.base import BYPASS, PolicyAccess, ReplacementPolicy
 from ..trace.record import AccessKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..lint.sanitize import InvariantSanitizer
 
 _DEMAND_KINDS = (AccessKind.LOAD, AccessKind.STORE, AccessKind.IFETCH)
 
@@ -134,6 +138,14 @@ class Cache:
         self.policy = policy
         policy.initialize(num_sets, num_ways)
         self.stats = CacheStats()
+        # Optional runtime invariant checks (repro.lint.sanitize); the
+        # default hot path pays exactly one `is None` test per operation.
+        self._sanitizer: InvariantSanitizer | None = None
+
+    def attach_sanitizer(self, sanitizer: InvariantSanitizer) -> None:
+        """Arm opt-in invariant checking on every subsequent operation."""
+        self._sanitizer = sanitizer
+        sanitizer.bind(self)
 
     # -- inspection -----------------------------------------------------------
 
@@ -173,7 +185,7 @@ class Cache:
         if not hit:
             stats.per_kind_misses[kind] = stats.per_kind_misses.get(kind, 0) + 1
 
-    def lookup(self, block: int) -> int:
+    def lookup(self, block: int) -> int:  # hot
         """Way index of the block in its set, or -1 if absent (no stats)."""
         tags = self._tags[block & self._set_mask]
         for way in range(self.num_ways):
@@ -181,7 +193,7 @@ class Cache:
                 return way
         return -1
 
-    def access(self, block: int, pc: int, kind: int) -> AccessResult:
+    def access(self, block: int, pc: int, kind: int) -> AccessResult:  # hot
         """Probe the cache; on a hit, update policy and dirty state.
 
         Misses are *not* filled here — the hierarchy fetches the block
@@ -200,10 +212,12 @@ class Cache:
             self.policy.on_hit(set_index, way, PolicyAccess(block, pc, kind))
             if kind == AccessKind.STORE or kind == AccessKind.WRITEBACK:
                 self._dirty[set_index][way] = True
+            if self._sanitizer is not None:
+                self._sanitizer.check_set(set_index, tags, self._dirty[set_index])
             return AccessResult(hit=True)
         return AccessResult(hit=False)
 
-    def fill(self, block: int, pc: int, kind: int) -> AccessResult:
+    def fill(self, block: int, pc: int, kind: int) -> AccessResult:  # hot
         """Insert a block fetched from the next level (or a writeback).
 
         Picks an invalid way if one exists, otherwise asks the policy for
@@ -214,6 +228,7 @@ class Cache:
         set_index = block & self._set_mask
         tags = self._tags[set_index]
         access = PolicyAccess(block, pc, kind)
+        sanitizer = self._sanitizer
         way = -1
         for w in range(self.num_ways):
             if tags[w] == -1:
@@ -223,6 +238,8 @@ class Cache:
         victim_dirty = False
         if way < 0:
             way = self.policy.find_victim(set_index, access, tags)
+            if sanitizer is not None:
+                sanitizer.check_victim(set_index, way, tags)
             if way == BYPASS:
                 self.stats.bypasses += 1
                 return AccessResult(hit=False, bypassed=True)
@@ -231,10 +248,16 @@ class Cache:
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.dirty_evictions += 1
+            if sanitizer is not None:
+                sanitizer.expect_eviction(set_index, way, victim_block)
             self.policy.on_eviction(set_index, way, victim_block)
+            if sanitizer is not None:
+                sanitizer.assert_notified(set_index)
         tags[way] = block
         self._dirty[set_index][way] = kind in (AccessKind.STORE, AccessKind.WRITEBACK)
         self.policy.on_fill(set_index, way, access)
+        if sanitizer is not None:
+            sanitizer.check_set(set_index, tags, self._dirty[set_index])
         return AccessResult(
             hit=False, victim_block=victim_block, victim_dirty=victim_dirty
         )
@@ -247,6 +270,8 @@ class Cache:
             if tags[way] == block:
                 tags[way] = -1
                 self._dirty[set_index][way] = False
+                if self._sanitizer is not None:
+                    self._sanitizer.check_set(set_index, tags, self._dirty[set_index])
                 return True
         return False
 

@@ -22,11 +22,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..trace.record import AccessKind
 from .cache import Cache
 from .dram import DRAM
 from .prefetcher import Prefetcher
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..lint.sanitize import HierarchySanitizer
 
 
 class ServiceLevel(enum.IntEnum):
@@ -86,6 +90,11 @@ class CacheHierarchy:
         self.inclusive = inclusive
         self.stats = HierarchyStats()
         self.block_bits = l1d.block_bits
+        self._sanitizer: HierarchySanitizer | None = None
+
+    def attach_sanitizer(self, sanitizer: HierarchySanitizer) -> None:
+        """Arm opt-in cross-level invariant checks (inclusion sweeps)."""
+        self._sanitizer = sanitizer
 
     @property
     def caches(self) -> dict[str, Cache]:
@@ -94,7 +103,7 @@ class CacheHierarchy:
 
     # -- writeback path ----------------------------------------------------------
 
-    def _writeback_to_l2(self, block: int, cycle: int) -> None:
+    def _writeback_to_l2(self, block: int, cycle: int) -> None:  # hot
         result = self.l2.access(block, 0, AccessKind.WRITEBACK)
         if result.hit:
             return
@@ -102,7 +111,7 @@ class CacheHierarchy:
         if fill.victim_dirty and fill.victim_block is not None:
             self._writeback_to_llc(fill.victim_block, cycle)
 
-    def _writeback_to_llc(self, block: int, cycle: int) -> None:
+    def _writeback_to_llc(self, block: int, cycle: int) -> None:  # hot
         result = self.llc.access(block, 0, AccessKind.WRITEBACK)
         if result.hit:
             return
@@ -113,12 +122,12 @@ class CacheHierarchy:
             victim = block if fill.bypassed else fill.victim_block
             self.dram.write(victim << self.block_bits, cycle)
 
-    def _fill_l1(self, l1: Cache, block: int, pc: int, kind: int, cycle: int) -> None:
+    def _fill_l1(self, l1: Cache, block: int, pc: int, kind: int, cycle: int) -> None:  # hot
         fill = l1.fill(block, pc, kind)
         if fill.victim_dirty and fill.victim_block is not None:
             self._writeback_to_l2(fill.victim_block, cycle)
 
-    def _fill_l2(self, block: int, pc: int, kind: int, cycle: int) -> None:
+    def _fill_l2(self, block: int, pc: int, kind: int, cycle: int) -> None:  # hot
         fill = self.l2.fill(block, pc, kind)
         if fill.victim_dirty and fill.victim_block is not None:
             self._writeback_to_llc(fill.victim_block, cycle)
@@ -141,7 +150,7 @@ class CacheHierarchy:
             self.dram.write(block << self.block_bits, cycle)
         self.stats.back_invalidations += 1
 
-    def _fill_llc(self, block: int, pc: int, kind: int, cycle: int) -> None:
+    def _fill_llc(self, block: int, pc: int, kind: int, cycle: int) -> None:  # hot
         fill = self.llc.fill(block, pc, kind)
         if self.inclusive and fill.victim_block is not None:
             self._back_invalidate(fill.victim_block, cycle)
@@ -164,8 +173,10 @@ class CacheHierarchy:
 
     # -- the demand path -----------------------------------------------------------
 
-    def access(self, addr: int, pc: int, kind: int, cycle: int) -> tuple[int, ServiceLevel]:
+    def access(self, addr: int, pc: int, kind: int, cycle: int) -> tuple[int, ServiceLevel]:  # hot
         """One demand access; returns (latency in cycles, serving level)."""
+        if self._sanitizer is not None:
+            self._sanitizer.on_access(self)
         block = addr >> self.block_bits
         l1 = self.l1i if kind == AccessKind.IFETCH else self.l1d
         is_data = l1 is self.l1d

@@ -53,6 +53,11 @@ class SHiPPolicy(ReplacementPolicy):
                 rrpv[way] += 1
 
     def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
+        if access.is_writeback:
+            # Writeback touches carry no PC and are invisible to the
+            # predictor in the ChampSim reference: neither promote the
+            # line nor train the SHCT on them.
+            return
         self._rrpv[set_index][way] = 0
         if self._line_valid[set_index][way] and not self._line_reused[set_index][way]:
             self._line_reused[set_index][way] = True

@@ -50,6 +50,78 @@ class TestSweep:
         assert "spec06.milc" in out
 
 
+class TestLint:
+    def test_live_tree_is_clean(self, capsys):
+        rc = main(["lint"])
+        assert rc == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "policy-hooks" in out
+        assert "pc-writeback-guard" in out
+
+    def test_bad_fixture_fails_with_locations(self, tmp_path, capsys):
+        bad = tmp_path / "bad_policy.py"
+        bad.write_text(
+            "class Broken(ReplacementPolicy):\n"
+            "    name = 'broken'\n"
+            "\n"
+            "    def find_victim(self, set_index, access, tags):\n"
+            "        return None\n"
+            "\n"
+            "    def on_fill(self, set_index, way, access):\n"
+            "        self._sig[way] = access.pc & 255\n"
+        )
+        rc = main(["lint", str(bad)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert f"{bad}:5: error [victim-return]" in out
+        assert "[pc-writeback-guard]" in out
+        assert "hint:" in out
+
+    def test_rule_subset(self, tmp_path, capsys):
+        bad = tmp_path / "bad_policy.py"
+        bad.write_text(
+            "class Broken(ReplacementPolicy):\n"
+            "    def find_victim(self, set_index, access, tags):\n"
+            "        return None\n"
+        )
+        rc = main(["lint", str(bad), "--rules", "policy-hooks"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[policy-hooks]" in out
+        assert "[victim-return]" not in out
+
+    def test_unknown_rule_fails_cleanly(self, capsys):
+        rc = main(["lint", "--rules", "nope"])
+        assert rc == 1
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_path_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["lint", str(tmp_path / "absent.py")])
+        assert rc == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_non_python_path_fails_cleanly(self, tmp_path, capsys):
+        stray = tmp_path / "notes.txt"
+        stray.write_text("not code")
+        rc = main(["lint", str(stray)])
+        assert rc == 1
+        assert "not a Python file" in capsys.readouterr().err
+
+    def test_strict_promotes_warnings(self, tmp_path):
+        warn_only = tmp_path / "hot.py"
+        warn_only.write_text(
+            "def lookup(tags, block):  # hot\n"
+            "    return [t for t in tags if t == block]\n"
+        )
+        assert main(["lint", str(warn_only)]) == 0
+        assert main(["lint", str(warn_only), "--strict"]) == 1
+
+
 class TestExperiment:
     def test_table1(self, capsys):
         rc = main(["experiment", "table1"])

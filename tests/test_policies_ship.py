@@ -91,6 +91,26 @@ class TestInsertion:
         p.on_fill(0, 0, PolicyAccess(1, 0x400, LOAD))
         assert p._rrpv[0][0] == RRPV_MAX - 1
 
+    def test_writeback_hit_neither_promotes_nor_trains(self):
+        """Regression for the pc-table-hygiene lint finding.
+
+        A writeback touch of a resident line carries pc == 0 and must be
+        invisible to the predictor (ChampSim reference): the line keeps
+        its RRPV and the filler's signature counter keeps its value.
+        """
+        p = SHiPPolicy()
+        p.initialize(1, 4)
+        sig = pc_signature(0x400)
+        p._shct[sig] = 1
+        p.on_fill(0, 0, PolicyAccess(1, 0x400, LOAD))
+        rrpv_before = p._rrpv[0][0]
+        p.on_hit(0, 0, PolicyAccess(1, 0, WB))
+        assert p._rrpv[0][0] == rrpv_before  # no promotion to 0
+        assert p._shct[sig] == 1  # no SHCT training
+        # The line still counts as never-reused: a dead eviction detrains.
+        p.on_eviction(0, 0, 1)
+        assert p._shct[sig] == 0
+
     def test_writeback_inserts_distant_and_untracked(self):
         p = SHiPPolicy()
         p.initialize(1, 4)

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples experiments lint typecheck clean
+.PHONY: install test bench bench-smoke examples experiments lint typecheck clean
 
 install:
 	pip install -e .[dev]
@@ -18,6 +18,15 @@ bench:
 
 bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# The CI smoke subset: reduced traces through the sweep engine, then the
+# regression gate against benchmarks/expected/. Mirrors the `benchmarks`
+# CI job (see .github/workflows/ci.yml and docs/sweeps.md).
+bench-smoke:
+	REPRO_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_fig2_mpki.py benchmarks/bench_fig3_speedup.py \
+		--benchmark-only -q
+	REPRO_SMOKE=1 $(PYTHON) benchmarks/check_regression.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,7 +1,13 @@
 """Figure 2 — MPKI across the hierarchy for GAP workloads (plus E5's
-L1D-miss-to-DRAM fraction, which the paper reports alongside it)."""
+L1D-miss-to-DRAM fraction, which the paper reports alongside it).
 
-from repro.harness.experiments import experiment_fig2
+At full scale the assertions pin the paper's quantitative bands. Under
+``REPRO_SMOKE`` (the CI gate's reduced traces) only the qualitative
+shape is asserted here — quantitative drift at smoke scale is the job
+of ``benchmarks/check_regression.py`` and its checked-in baseline.
+"""
+
+from repro.harness.experiments import experiment_fig2, smoke_mode
 
 
 def test_fig2_gap_mpki_across_hierarchy(benchmark, emit):
@@ -16,13 +22,20 @@ def test_fig2_gap_mpki_across_hierarchy(benchmark, emit):
     # large share of L1D misses must be served by DRAM.
     assert l1d > l2c > llc, "MPKI must decrease down the hierarchy"
     assert llc > 15, "GAP workloads must stay miss-dominated at the LLC"
-    assert l2c > 30
-    # Paper averages 53.2 / 44.2 / 41.8: our LLC and L2C figures must land
-    # in the same band (traces are array-access-only, so L1D runs higher —
-    # see EXPERIMENTS.md).
-    assert 25 < llc < 70
-    assert 30 < l2c < 80
-    assert dram_frac > 0.35, "most deep misses must reach DRAM"
+
+    if smoke_mode():
+        # Reduced graphs shrink footprints, so the paper's absolute bands
+        # do not apply; the regression gate checks the numbers instead.
+        assert l2c > 15
+        assert dram_frac > 0.2, "deep misses must still reach DRAM at smoke scale"
+    else:
+        assert l2c > 30
+        # Paper averages 53.2 / 44.2 / 41.8: our LLC and L2C figures must land
+        # in the same band (traces are array-access-only, so L1D runs higher —
+        # see EXPERIMENTS.md).
+        assert 25 < llc < 70
+        assert 30 < l2c < 80
+        assert dram_frac > 0.35, "most deep misses must reach DRAM"
 
     # Per-workload: every GAP kernel individually is miss-heavy at the LLC.
     for row in report.rows:

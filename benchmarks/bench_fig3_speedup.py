@@ -3,9 +3,13 @@
 The paper's headline figure: on SPEC 2006/2017 the learned policies
 (SHiP, Hawkeye, Glider, MPPPB) deliver clear wins over LRU; on GAP all
 six policies collapse to ~1.0 and the learned ones do not dominate.
+
+Under ``REPRO_SMOKE`` the shorter SPEC windows damp the absolute gains,
+so the "clearly beats LRU" threshold relaxes; the CI regression gate
+(``benchmarks/check_regression.py``) pins the exact smoke-scale numbers.
 """
 
-from repro.harness.experiments import experiment_fig3
+from repro.harness.experiments import experiment_fig3, smoke_mode
 from repro.policies.registry import PAPER_POLICIES
 
 
@@ -16,12 +20,13 @@ def test_fig3_geomean_speedups(benchmark, emit):
     by_suite = {row[0]: dict(zip(PAPER_POLICIES, row[1:])) for row in report.rows}
     spec06, spec17, gap = by_suite["spec06"], by_suite["spec17"], by_suite["gap"]
     learned = ("ship", "hawkeye", "glider", "mpppb")
+    clear_win = 1.02 if smoke_mode() else 1.03
 
     # SPEC suites: everything at or above LRU, learned policies at the top.
     for suite in (spec06, spec17):
         assert all(s > 0.97 for s in suite.values())
         assert max(suite[p] for p in learned) >= suite["srrip"]
-        assert max(suite.values()) > 1.03, "some policy must clearly beat LRU"
+        assert max(suite.values()) > clear_win, "some policy must clearly beat LRU"
 
     # GAP: the paper's key claim — every policy clusters near 1.0, with
     # no policy achieving SPEC-class gains, and the heavyweight learned

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare results/ against expected/.
+
+Reads the JSON artifacts the ``emit`` fixture wrote under
+``benchmarks/results/`` and compares the key aggregate metrics (Figure 3
+geomean speed-ups, Figure 2 mean MPKIs) against the checked-in baseline
+in ``benchmarks/expected/``, within per-metric tolerances. Exits
+non-zero on any drift beyond tolerance — CI runs this after the smoke
+benchmark subset, so a core change that silently degrades (or inflates)
+a policy's measured speed-up fails the build.
+
+The baseline records the workload scale it was captured at; results
+produced at a different scale are rejected rather than mis-compared.
+Regenerate the baseline after an intentional change with::
+
+    REPRO_SMOKE=1 python -m pytest benchmarks/bench_fig2_mpki.py \
+        benchmarks/bench_fig3_speedup.py --benchmark-only
+    python benchmarks/check_regression.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+DEFAULT_RESULTS = BENCH_DIR / "results"
+DEFAULT_EXPECTED = BENCH_DIR / "expected" / "smoke.json"
+
+#: (results file, scale-note keys) per gated experiment.
+GATED = {
+    "fig3_speedup": ("fig3_speedup.json", ("gap_window", "gap_scale", "spec_window")),
+    "fig2_mpki": ("fig2_mpki.json", ("gap_window", "gap_scale")),
+}
+
+
+def _load_report(results_dir: Path, filename: str) -> dict:
+    path = results_dir / filename
+    if not path.is_file():
+        sys.exit(f"missing results artifact: {path} (run the smoke benchmarks first)")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _row_values(report: dict) -> dict[str, dict[str, float]]:
+    """rows -> {row label: {column header: value}} for numeric columns."""
+    headers = report["headers"]
+    table: dict[str, dict[str, float]] = {}
+    for row in report["rows"]:
+        table[str(row[0])] = {
+            header: cell
+            for header, cell in zip(headers[1:], row[1:])
+            if isinstance(cell, (int, float))
+        }
+    return table
+
+
+def _check_scale(name: str, report: dict, expected_scale: dict, failures: list[str]) -> None:
+    notes = report.get("notes", {})
+    for key in GATED[name][1]:
+        got, want = notes.get(key), expected_scale.get(key)
+        if want is not None and got != want:
+            failures.append(
+                f"{name}: produced at {key}={got}, baseline captured at {key}={want} "
+                "— run the smoke subset (REPRO_SMOKE=1) before gating"
+            )
+
+
+def check(results_dir: Path, expected_path: Path) -> int:
+    expected = json.loads(expected_path.read_text(encoding="utf-8"))
+    failures: list[str] = []
+    compared = 0
+
+    for name, spec in expected["metrics"].items():
+        report = _load_report(results_dir, GATED[name][0])
+        _check_scale(name, report, expected.get("scale", {}), failures)
+        table = _row_values(report)
+        tol_abs = spec.get("tolerance_abs")
+        tol_rel = spec.get("tolerance_rel")
+        for row_label, columns in spec["values"].items():
+            for column, want in columns.items():
+                got = table.get(row_label, {}).get(column)
+                if got is None:
+                    failures.append(f"{name}: missing cell [{row_label}][{column}]")
+                    continue
+                compared += 1
+                drift = abs(got - want)
+                limit = tol_abs if tol_abs is not None else abs(want) * tol_rel
+                status = "ok" if drift <= limit else "REGRESSION"
+                print(
+                    f"{name:>14} {row_label:>8} {column:<16} "
+                    f"expected {want:8.4f}  got {got:8.4f}  "
+                    f"drift {drift:7.4f} (limit {limit:.4f})  {status}"
+                )
+                if drift > limit:
+                    failures.append(
+                        f"{name}[{row_label}][{column}]: {got:.4f} vs baseline "
+                        f"{want:.4f} (drift {drift:.4f} > {limit:.4f})"
+                    )
+
+    print(f"\ncompared {compared} metrics against {expected_path.name}")
+    if failures:
+        print(f"{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("benchmark regression gate: OK")
+    return 0
+
+
+def update(results_dir: Path, expected_path: Path) -> int:
+    """Capture the current results as the new baseline."""
+    fig3 = _load_report(results_dir, GATED["fig3_speedup"][0])
+    fig2 = _load_report(results_dir, GATED["fig2_mpki"][0])
+    notes = fig3.get("notes", {})
+    baseline = {
+        "description": (
+            "Smoke-scale benchmark baseline for the CI regression gate; "
+            "regenerate with check_regression.py --update (see docstring)"
+        ),
+        "scale": {
+            "gap_window": notes.get("gap_window"),
+            "gap_scale": notes.get("gap_scale"),
+            "spec_window": notes.get("spec_window"),
+        },
+        "metrics": {
+            "fig3_speedup": {
+                "tolerance_abs": 0.02,
+                "values": _row_values(fig3),
+            },
+            "fig2_mpki": {
+                "tolerance_rel": 0.10,
+                "values": {"MEAN": _row_values(fig2)["MEAN"]},
+            },
+        },
+    }
+    expected_path.parent.mkdir(parents=True, exist_ok=True)
+    expected_path.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {expected_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
+    parser.add_argument("--expected", type=Path, default=DEFAULT_EXPECTED)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current results")
+    args = parser.parse_args(argv)
+    if args.update:
+        return update(args.results, args.expected)
+    return check(args.results, args.expected)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,17 +2,30 @@
 
 Each ``bench_*`` file regenerates one table or figure of the paper. The
 ``emit`` fixture prints the rendered table and also writes it under
-``benchmarks/results/`` so a full ``pytest benchmarks/ --benchmark-only``
-run leaves the complete set of reproduced artifacts on disk — those files
-are the source for EXPERIMENTS.md.
+``benchmarks/results/`` — both as text and as a JSON artifact (the CI
+regression gate reads the JSON) — so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the complete set of reproduced artifacts
+on disk; those files are the source for EXPERIMENTS.md.
+
+All benchmark sweeps route through the sweep engine
+(:mod:`repro.harness.engine`): this conftest defaults ``REPRO_CACHE_DIR``
+to ``benchmarks/.cache`` and ``REPRO_JOBS`` to the machine's core count
+(capped at 4), so repeated benchmark runs re-simulate only what changed
+and fresh runs use the available parallelism. Export either variable to
+override; ``REPRO_SMOKE=1`` switches every workload to the reduced
+smoke scale the CI gate runs (see docs/sweeps.md).
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
+
+os.environ.setdefault("REPRO_CACHE_DIR", str(Path(__file__).parent / ".cache"))
+os.environ.setdefault("REPRO_JOBS", str(min(4, os.cpu_count() or 1)))
 
 RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", Path(__file__).parent / "results"))
 
@@ -25,11 +38,14 @@ def results_dir() -> Path:
 
 @pytest.fixture
 def emit(results_dir, capsys):
-    """Print an ExperimentReport and persist it to results/<name>.txt."""
+    """Print an ExperimentReport and persist it to results/<name>.{txt,json}."""
 
     def _emit(name: str, report) -> None:
         rendered = report.render()
         (results_dir / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(report.to_json_dict(), indent=2) + "\n", encoding="utf-8"
+        )
         with capsys.disabled():
             print()
             print(rendered)

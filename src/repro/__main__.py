@@ -1,9 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows without writing a script:
+The subcommands cover the common workflows without writing a script:
 
 * ``simulate`` — trace one workload and run it under one policy;
-* ``sweep`` — a (workload x policy) matrix with speed-ups over LRU;
+* ``sweep`` — a (workload x policy) matrix with speed-ups over LRU,
+  fanned out over ``--jobs`` worker processes with on-disk caching;
+* ``cache`` — inspect/clear/prune the sweep engine's result cache;
 * ``experiment`` — regenerate one of the paper's tables/figures;
 * ``lint`` — run the policy-contract static analyzer (and, with
   ``--sanitize-selftest``, the runtime invariant sanitizer).
@@ -12,7 +14,9 @@ Four subcommands cover the common workflows without writing a script:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from .analysis.tables import format_table
 from .core.config import cascade_lake
@@ -84,14 +88,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_cache_dir() -> Path:
+    """The CLI's cache root: ``REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return Path(env)
+    return Path("~/.cache/repro/sweeps").expanduser()
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a (workload x policy) matrix and print speed-ups over LRU."""
+    from .harness.engine import SweepEngine
+
     traces = {w: _build_trace(w, args.window) for w in args.workloads}
     policies = [BASELINE_POLICY, *(args.policies or PAPER_POLICIES)]
+    engine = SweepEngine(
+        cache_dir=None if args.no_cache else _default_cache_dir(),
+        jobs=args.jobs,
+    )
     matrix = run_matrix(
         traces, policies, config=cascade_lake(),
         progress=lambda w, p: print(f"  running {w} x {p} ...", file=sys.stderr),
         sanitize=args.sanitize,
+        engine=engine,
     )
     rows = [
         [w, *[matrix.speedup(w, p) for p in policies[1:]]]
@@ -99,6 +118,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ]
     print(format_table(["workload", *policies[1:]], rows,
                        title="Speed-up over LRU"))
+    stats = matrix.sweep_stats
+    if stats is not None:
+        print(
+            f"engine: {stats.cells} cells, {stats.hits} from cache, "
+            f"{stats.simulated} simulated ({args.jobs} jobs)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or maintain the sweep engine's on-disk result cache."""
+    from .harness.engine import ResultCache, simulator_salt
+
+    if args.action == "salt":
+        print(simulator_salt())
+        return 0
+    cache = ResultCache(args.cache_dir or _default_cache_dir())
+    if args.action == "stats":
+        print(cache.stats().render())
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries")
+    elif args.action == "prune":
+        removed = cache.prune()
+        print(f"pruned {removed} stale entries (current salt {cache.salt})")
     return 0
 
 
@@ -214,9 +259,22 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("workloads", nargs="+")
     p_sweep.add_argument("--policies", nargs="*", choices=available_policies())
     p_sweep.add_argument("--window", type=int, default=200_000)
+    p_sweep.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                         help="worker processes for sweep cells "
+                              "(default: all cores)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk result cache")
     p_sweep.add_argument("--sanitize", action="store_true",
                          help="arm runtime invariant checks on every cache level")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect/clear/prune the sweep result cache")
+    p_cache.add_argument("action", choices=["stats", "clear", "prune", "salt"])
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache root (default: $REPRO_CACHE_DIR or "
+                              "~/.cache/repro/sweeps)")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_lint = sub.add_parser(
         "lint", help="policy-contract static analyzer + invariant sanitizer")

@@ -11,7 +11,7 @@ sensitivity experiment does exactly that).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from ..errors import ConfigurationError
 from ..mem.dram import DRAMConfig
@@ -91,6 +91,15 @@ class MachineConfig:
             raise ConfigurationError(f"LLC scale factor must be >= 1, got {factor}")
         llc = replace(self.llc, size_bytes=self.llc.size_bytes * factor)
         return replace(self, llc=llc)
+
+    def to_json_dict(self) -> dict:
+        """Every machine parameter as a nested plain dict.
+
+        This is the canonical form the sweep engine hashes into cache
+        keys: two configs with equal parameters serialize identically,
+        regardless of how they were constructed.
+        """
+        return asdict(self)
 
     def describe(self) -> list[tuple[str, str]]:
         """Human-readable (component, description) rows — the paper's Table I."""

@@ -10,8 +10,10 @@ the harness and compared across runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
+from ..errors import SimulationError
 from ..mem.cache import CacheStats
 from ..mem.dram import DRAMStats
 from ..mem.hierarchy import CacheHierarchy, ServiceLevel
@@ -19,6 +21,23 @@ from .cpu import CoreStats
 
 #: The levels Figure 2 reports MPKI for, in presentation order.
 MPKI_LEVELS = ("L1D", "L2C", "LLC")
+
+#: Version of the JSON representation produced by
+#: :meth:`SimulationResult.to_json_dict`. Bump on any incompatible field
+#: change; :meth:`SimulationResult.from_json_dict` refuses mismatches so
+#: stale on-disk documents (e.g. sweep-cache entries) fail loudly.
+RESULT_SCHEMA_VERSION = 1
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and mappings into plain JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (int, float, str, bool)):
+        return value.item()  # numpy scalar
+    return value
 
 
 @dataclass(frozen=True)
@@ -117,6 +136,62 @@ class SimulationResult:
                 f"{self.workload!r} vs {baseline.workload!r}"
             )
         return self.ipc / baseline.ipc if baseline.ipc else 0.0
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """This result as a JSON-serializable dict (schema-versioned).
+
+        The document round-trips bit-identically through
+        :meth:`from_json_dict`: every counter is an int, every float is
+        preserved exactly by JSON's shortest-repr encoding, and
+        ``served_by`` is keyed by :class:`ServiceLevel` names.
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "workload": self.workload,
+            "policy": self.policy,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "levels": {name: asdict(stats) for name, stats in self.levels.items()},
+            "served_by": {level.name: count for level, count in self.served_by.items()},
+            "l1d_misses": self.l1d_misses,
+            "l1d_misses_to_dram": self.l1d_misses_to_dram,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "dram_row_hit_rate": self.dram_row_hit_rate,
+            "mean_load_latency": self.mean_load_latency,
+            "rob_stall_cycles": self.rob_stall_cycles,
+            "info": _jsonify(self.info),
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_json_dict` output."""
+        version = doc.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise SimulationError(
+                f"result document has schema_version={version!r}, "
+                f"this build reads {RESULT_SCHEMA_VERSION}"
+            )
+        return cls(
+            workload=doc["workload"],
+            policy=doc["policy"],
+            instructions=doc["instructions"],
+            cycles=doc["cycles"],
+            levels={
+                name: LevelStats(**stats) for name, stats in doc["levels"].items()
+            },
+            served_by={
+                ServiceLevel[name]: count for name, count in doc["served_by"].items()
+            },
+            l1d_misses=doc["l1d_misses"],
+            l1d_misses_to_dram=doc["l1d_misses_to_dram"],
+            dram_reads=doc["dram_reads"],
+            dram_writes=doc["dram_writes"],
+            dram_row_hit_rate=doc["dram_row_hit_rate"],
+            mean_load_latency=doc["mean_load_latency"],
+            rob_stall_cycles=doc["rob_stall_cycles"],
+            info=dict(doc.get("info", {})),
+        )
 
     def summary(self) -> str:
         """One-line human-readable digest."""

@@ -1,5 +1,14 @@
-"""Experiment harness: run matrices and per-figure experiment drivers."""
+"""Experiment harness: sweep engine, run matrices, experiment drivers."""
 
+from .engine import (
+    CellError,
+    ResultCache,
+    SweepEngine,
+    SweepOutcome,
+    SweepStats,
+    cell_key,
+    simulator_salt,
+)
 from .experiments import (
     ExperimentReport,
     experiment_dram_traffic,
@@ -22,6 +31,13 @@ __all__ = [
     "ExperimentReport",
     "RunMatrix",
     "run_matrix",
+    "SweepEngine",
+    "SweepOutcome",
+    "SweepStats",
+    "CellError",
+    "ResultCache",
+    "cell_key",
+    "simulator_salt",
     "gap_traces",
     "spec_traces",
     "experiment_table1",

@@ -1,0 +1,465 @@
+"""Parallel, cached sweep execution for (workload x policy) matrices.
+
+Every paper artifact funnels through a (workload x policy) sweep whose
+cells are independent, deterministic simulations — embarrassingly
+parallel and perfectly cacheable. :class:`SweepEngine` exploits both:
+
+* **Parallelism** — cells fan out over a ``ProcessPoolExecutor``
+  (``jobs`` workers); results are reassembled in deterministic
+  (workload, policy) order, so a parallel sweep is bit-identical to a
+  serial one.
+* **Caching** — a content-addressed on-disk :class:`ResultCache` keyed
+  on the trace content digest, policy name, machine configuration,
+  warm-up fraction and a *simulator-version salt* (a hash of the
+  simulation core's own source). Any change to ``repro/core``,
+  ``repro/mem`` or ``repro/policies`` changes the salt and invalidates
+  every stale entry; ``repro cache prune`` garbage-collects them.
+* **Checkpoint/resume** — each finished cell is persisted atomically the
+  moment it completes, so an interrupted sweep resumes from its last
+  finished cell on the next invocation (the cache *is* the checkpoint).
+* **Failure isolation** — with ``isolate_failures=True`` a crashing cell
+  records a structured :class:`CellError` and the rest of the matrix
+  completes; failed cells are never cached, so a re-run retries them.
+
+:func:`repro.harness.runner.run_matrix` routes through a default engine
+configured from the environment (``REPRO_JOBS``, ``REPRO_CACHE_DIR``),
+so existing callers get both behaviours transparently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable
+
+from ..core.config import MachineConfig, cascade_lake
+from ..core.results import RESULT_SCHEMA_VERSION, SimulationResult
+from ..core.simulator import DEFAULT_WARMUP_FRACTION, simulate
+from ..errors import SimulationError
+from ..trace.trace import Trace
+from .runner import RunMatrix
+
+#: Version of one on-disk cache entry's envelope (the ``result`` payload
+#: inside carries its own schema version from :mod:`repro.core.results`).
+CACHE_ENTRY_VERSION = 1
+
+#: Subpackages whose source text defines simulation semantics: any edit
+#: to them must invalidate cached results.
+SALT_SOURCE_PACKAGES = ("core", "mem", "policies")
+
+#: Environment variables the default engine is configured from.
+ENV_JOBS = "REPRO_JOBS"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+@lru_cache(maxsize=1)
+def simulator_salt() -> str:
+    """A short hash of the simulation core's source (plus result schema).
+
+    Computed over every ``.py`` file under :data:`SALT_SOURCE_PACKAGES`
+    in sorted order, so it is stable across processes and machines but
+    changes whenever simulation semantics could have changed. Cache
+    entries embed it in their key; ``repro cache prune`` deletes entries
+    minted under any other salt.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    h.update(f"result-schema={RESULT_SCHEMA_VERSION}".encode())
+    for package in SALT_SOURCE_PACKAGES:
+        for path in sorted((root / package).rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\x00")
+            h.update(path.read_bytes())
+            h.update(b"\x00")
+    return h.hexdigest()[:16]
+
+
+def cell_key(
+    trace: Trace,
+    policy: str,
+    config: MachineConfig,
+    warmup_fraction: float,
+    sanitize: bool = False,
+    salt: str | None = None,
+) -> str:
+    """The content address of one sweep cell.
+
+    SHA-256 over a canonical JSON document of everything that determines
+    the cell's result: the trace's content digest, the policy registry
+    name (policy *parameters* live in the policy source, which the salt
+    covers), the full machine configuration, the warm-up fraction, the
+    sanitize flag (it adds fields to ``result.info``) and the simulator
+    salt.
+    """
+    doc = {
+        "trace": trace.digest(),
+        "policy": policy,
+        "config": config.to_json_dict(),
+        "warmup_fraction": warmup_fraction,
+        "sanitize": bool(sanitize),
+        "salt": salt if salt is not None else simulator_salt(),
+    }
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CellError:
+    """Structured record of one failed sweep cell."""
+
+    workload: str
+    policy: str
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def render(self) -> str:
+        return f"{self.workload} x {self.policy}: {self.error_type}: {self.message}"
+
+
+@dataclass
+class SweepStats:
+    """What the engine did for one sweep."""
+
+    hits: int = 0  # cells loaded from the on-disk cache
+    simulated: int = 0  # cells actually run
+    errors: int = 0  # cells that failed (isolate_failures=True)
+
+    @property
+    def cells(self) -> int:
+        """Total cells the sweep covered."""
+        return self.hits + self.simulated + self.errors
+
+
+@dataclass
+class SweepOutcome:
+    """A completed sweep: the matrix plus errors and engine stats."""
+
+    matrix: RunMatrix
+    errors: dict[tuple[str, str], CellError] = field(default_factory=dict)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+
+@dataclass
+class CacheReport:
+    """Snapshot of the on-disk cache for ``repro cache stats``."""
+
+    root: str
+    current_salt: str
+    entries: int = 0
+    bytes: int = 0
+    by_salt: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def stale_entries(self) -> int:
+        """Entries minted under a different simulator salt."""
+        return sum(
+            count for salt, count in self.by_salt.items() if salt != self.current_salt
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"cache root:   {self.root}",
+            f"current salt: {self.current_salt}",
+            f"entries:      {self.entries} ({self.bytes / 1024:.1f} KiB)",
+        ]
+        for salt in sorted(self.by_salt):
+            marker = "current" if salt == self.current_salt else "stale"
+            lines.append(f"  salt {salt}: {self.by_salt[salt]} entries ({marker})")
+        return "\n".join(lines)
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`SimulationResult`s.
+
+    Layout: ``root/<salt>/<key[:2]>/<key>.json`` — grouping by salt makes
+    pruning stale generations a directory removal, and the two-character
+    fan-out keeps directories small on big sweeps. Writes go through a
+    temp file + ``os.replace`` so a crash mid-write can never leave a
+    half-written entry behind; a corrupt or schema-mismatched entry is
+    treated as a miss and deleted.
+    """
+
+    def __init__(self, root: str | Path, salt: str | None = None) -> None:
+        self.root = Path(root)
+        self.salt = salt if salt is not None else simulator_salt()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / self.salt / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> SimulationResult | None:
+        """The cached result for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            if doc.get("entry_version") != CACHE_ENTRY_VERSION:
+                raise SimulationError("cache entry version mismatch")
+            return SimulationResult.from_json_dict(doc["result"])
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, SimulationError):
+            path.unlink(missing_ok=True)  # self-heal: corrupt entry = miss
+            return None
+
+    def store(self, key: str, result: SimulationResult) -> Path:
+        """Atomically persist one cell result under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "entry_version": CACHE_ENTRY_VERSION,
+            "salt": self.salt,
+            "key": key,
+            "result": result.to_json_dict(),
+        }
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(doc), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def _entry_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return [p for p in self.root.rglob("*.json") if p.is_file()]
+
+    def stats(self) -> CacheReport:
+        """Count entries and bytes, split by simulator salt."""
+        report = CacheReport(root=str(self.root), current_salt=self.salt)
+        for path in self._entry_files():
+            salt = path.relative_to(self.root).parts[0]
+            report.entries += 1
+            report.bytes += path.stat().st_size
+            report.by_salt[salt] = report.by_salt.get(salt, 0) + 1
+        return report
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = len(self._entry_files())
+        if self.root.is_dir():
+            shutil.rmtree(self.root)
+        return removed
+
+    def prune(self) -> int:
+        """Delete entries minted under a stale simulator salt."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for child in self.root.iterdir():
+            if child.is_dir() and child.name != self.salt:
+                removed += sum(1 for _ in child.rglob("*.json"))
+                shutil.rmtree(child)
+        # Stray temp files from crashed writers are stale by definition.
+        for tmp in self.root.rglob("*.tmp-*"):
+            tmp.unlink(missing_ok=True)
+        return removed
+
+
+def _simulate_cell(
+    workload: str,
+    policy: str,
+    trace: Trace,
+    config: MachineConfig,
+    warmup_fraction: float,
+    sanitize: bool,
+) -> tuple[str, str, SimulationResult]:
+    """Worker entry point: simulate one cell (runs in a pool process)."""
+    result = simulate(
+        trace,
+        config=config,
+        llc_policy=policy,
+        warmup_fraction=warmup_fraction,
+        sanitize=sanitize,
+    )
+    return workload, policy, result
+
+
+class SweepEngine:
+    """Executes (workload x policy) sweeps with parallelism and caching.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root of the on-disk result cache; ``None`` disables caching.
+    jobs:
+        Worker processes for cells that must be simulated. ``1`` (the
+        default) runs serially in-process.
+    salt:
+        Override the simulator-version salt (tests use this to model a
+        core change without editing source files).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        jobs: int = 1,
+        salt: str | None = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs or 1))
+        self.salt = salt if salt is not None else simulator_salt()
+        self.cache = ResultCache(cache_dir, salt=self.salt) if cache_dir else None
+
+    @classmethod
+    def from_env(cls, jobs: int | None = None) -> "SweepEngine":
+        """An engine configured from ``REPRO_JOBS``/``REPRO_CACHE_DIR``.
+
+        With neither variable set this is a serial, uncached engine —
+        exactly the pre-engine behaviour, which keeps unit tests hermetic.
+        """
+        if jobs is None:
+            raw = os.environ.get(ENV_JOBS, "").strip()
+            jobs = int(raw) if raw else 1
+        cache_dir = os.environ.get(ENV_CACHE_DIR, "").strip() or None
+        return cls(cache_dir=cache_dir, jobs=jobs)
+
+    # -- sweep execution ----------------------------------------------------
+
+    def run(
+        self,
+        traces: dict[str, Trace] | list[Trace],
+        policies: list[str],
+        config: MachineConfig | None = None,
+        warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+        progress: Callable[[str, str], None] | None = None,
+        sanitize: bool = False,
+        isolate_failures: bool = False,
+    ) -> SweepOutcome:
+        """Run every (trace, policy) cell and assemble a :class:`RunMatrix`.
+
+        Cells present in the cache are loaded without simulating; the
+        rest run serially or across ``jobs`` worker processes. Cell
+        results land in the matrix in deterministic (workload, policy)
+        order regardless of completion order. With ``isolate_failures``
+        a failing cell becomes a :class:`CellError` in the outcome and
+        the rest of the sweep completes; otherwise the first failure
+        propagates (completed cells are already checkpointed, so a rerun
+        resumes past them).
+        """
+        if isinstance(traces, list):
+            traces = {t.name: t for t in traces}
+        if config is None:
+            config = cascade_lake()
+
+        cells = [(w, p) for w in traces for p in policies]
+        stats = SweepStats()
+        errors: dict[tuple[str, str], CellError] = {}
+        resolved: dict[tuple[str, str], SimulationResult] = {}
+        keys: dict[tuple[str, str], str] = {}
+        pending: list[tuple[str, str]] = []
+
+        for workload, policy in cells:
+            if progress is not None:
+                progress(workload, policy)
+            if self.cache is not None:
+                key = cell_key(
+                    traces[workload], policy, config, warmup_fraction,
+                    sanitize=sanitize, salt=self.salt,
+                )
+                keys[(workload, policy)] = key
+                cached = self.cache.load(key)
+                if cached is not None:
+                    resolved[(workload, policy)] = cached
+                    stats.hits += 1
+                    continue
+            pending.append((workload, policy))
+
+        def record(workload: str, policy: str, result: SimulationResult) -> None:
+            resolved[(workload, policy)] = result
+            stats.simulated += 1
+            if self.cache is not None:
+                self.cache.store(keys[(workload, policy)], result)
+
+        def record_failure(workload: str, policy: str, exc: Exception) -> None:
+            if not isolate_failures:
+                raise exc
+            stats.errors += 1
+            errors[(workload, policy)] = CellError(
+                workload=workload,
+                policy=policy,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback="".join(
+                    traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+            )
+
+        if self.jobs > 1 and len(pending) > 1:
+            self._run_parallel(
+                pending, traces, config, warmup_fraction, sanitize,
+                record, record_failure,
+            )
+        else:
+            for workload, policy in pending:
+                try:
+                    _, _, result = _simulate_cell(
+                        workload, policy, traces[workload], config,
+                        warmup_fraction, sanitize,
+                    )
+                except Exception as exc:
+                    record_failure(workload, policy, exc)
+                else:
+                    record(workload, policy, result)
+
+        matrix = RunMatrix(config=config)
+        for workload in traces:
+            row = {
+                policy: resolved[(workload, policy)]
+                for policy in policies
+                if (workload, policy) in resolved
+            }
+            if row:
+                matrix.results[workload] = row
+        return SweepOutcome(matrix=matrix, errors=errors, stats=stats)
+
+    def _run_parallel(
+        self,
+        pending: list[tuple[str, str]],
+        traces: dict[str, Trace],
+        config: MachineConfig,
+        warmup_fraction: float,
+        sanitize: bool,
+        record: Callable[[str, str, SimulationResult], None],
+        record_failure: Callable[[str, str, Exception], None],
+    ) -> None:
+        """Fan pending cells out over a process pool, streaming results.
+
+        Results are recorded (and checkpointed to the cache) as each
+        future completes, not at the end — an interrupt mid-sweep keeps
+        everything already finished.
+        """
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: dict[Future, tuple[str, str]] = {
+                pool.submit(
+                    _simulate_cell, workload, policy, traces[workload],
+                    config, warmup_fraction, sanitize,
+                ): (workload, policy)
+                for workload, policy in pending
+            }
+            outstanding = set(futures)
+            try:
+                while outstanding:
+                    done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        workload, policy = futures[future]
+                        try:
+                            _, _, result = future.result()
+                        except Exception as exc:
+                            record_failure(workload, policy, exc)
+                        else:
+                            record(workload, policy, result)
+            except BaseException:
+                # Abandon queued cells so a failing sweep (or Ctrl-C)
+                # doesn't wait for the whole matrix; completed cells are
+                # already checkpointed in the cache.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise

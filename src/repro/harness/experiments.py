@@ -11,7 +11,9 @@ pays workload generation once.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -37,8 +39,46 @@ SPEC_WINDOW = 150_000
 GAP_SCALE = 19
 GAP_DEGREE = 16
 
+#: Reduced sizes used when ``REPRO_SMOKE`` is set: big enough to keep
+#: every workload in the paper's miss-dominated regime (the benchmark
+#: assertions still hold), small enough that CI's smoke subset finishes
+#: in minutes. Individual ``REPRO_GAP_WINDOW``/``REPRO_GAP_SCALE``/
+#: ``REPRO_SPEC_WINDOW`` variables override both tiers.
+SMOKE_GAP_WINDOW = 120_000
+SMOKE_SPEC_WINDOW = 60_000
+SMOKE_GAP_SCALE = 16
+
 _TRACE_CACHE: dict[str, dict[str, Trace]] = {}
 _MATRIX_CACHE: dict[tuple, RunMatrix] = {}
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else default
+
+
+def smoke_mode() -> bool:
+    """Whether reduced smoke-scale workloads are requested (CI gate)."""
+    return bool(os.environ.get("REPRO_SMOKE", "").strip())
+
+
+def effective_gap_window() -> int:
+    """The GAP trace window honouring smoke mode and env overrides."""
+    return _env_int(
+        "REPRO_GAP_WINDOW", SMOKE_GAP_WINDOW if smoke_mode() else GAP_WINDOW
+    )
+
+
+def effective_gap_scale() -> int:
+    """The GAP graph scale honouring smoke mode and env overrides."""
+    return _env_int("REPRO_GAP_SCALE", SMOKE_GAP_SCALE if smoke_mode() else GAP_SCALE)
+
+
+def effective_spec_window() -> int:
+    """The SPEC trace window honouring smoke mode and env overrides."""
+    return _env_int(
+        "REPRO_SPEC_WINDOW", SMOKE_SPEC_WINDOW if smoke_mode() else SPEC_WINDOW
+    )
 
 
 def _cached_matrix(
@@ -51,14 +91,29 @@ def _cached_matrix(
     (Figure 3 and E1, for instance) pay for it once per process."""
     # MachineConfig is a frozen dataclass, hence hashable: two configs
     # with equal parameters share cache entries regardless of identity.
-    key = (suite_key, tuple(policies), config)
+    # Trace digests pin the entry to the actual workload content, so the
+    # same suite at two window sizes never collides.
+    key = (
+        suite_key,
+        tuple(sorted(t.digest() for t in traces.values())),
+        tuple(policies),
+        config,
+    )
     if key not in _MATRIX_CACHE:
         _MATRIX_CACHE[key] = run_matrix(traces, policies, config=config)
     return _MATRIX_CACHE[key]
 
 
-def gap_traces(window: int = GAP_WINDOW, scale: int = GAP_SCALE) -> dict[str, Trace]:
-    """The GAP suite traces (memoized per process)."""
+def gap_traces(
+    window: int | None = None, scale: int | None = None
+) -> dict[str, Trace]:
+    """The GAP suite traces (memoized per process).
+
+    ``window``/``scale`` default to the effective sizes — full-scale
+    normally, reduced under ``REPRO_SMOKE`` (see docs/sweeps.md).
+    """
+    window = window if window is not None else effective_gap_window()
+    scale = scale if scale is not None else effective_gap_scale()
     key = f"gap.{scale}.{window}"
     if key not in _TRACE_CACHE:
         _TRACE_CACHE[key] = gap_suite(
@@ -67,8 +122,9 @@ def gap_traces(window: int = GAP_WINDOW, scale: int = GAP_SCALE) -> dict[str, Tr
     return _TRACE_CACHE[key]
 
 
-def spec_traces(suite: str, window: int = SPEC_WINDOW) -> dict[str, Trace]:
+def spec_traces(suite: str, window: int | None = None) -> dict[str, Trace]:
     """A SPEC proxy suite's traces (memoized per process)."""
+    window = window if window is not None else effective_spec_window()
     key = f"{suite}.{window}"
     if key not in _TRACE_CACHE:
         _TRACE_CACHE[key] = spec_suite(suite, num_accesses=window)
@@ -103,6 +159,33 @@ class ExperimentReport:
             else:
                 break
         return span
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """The report as a JSON-serializable dict (for results/ artifacts).
+
+        Notes that do not serialize (live :class:`RunMatrix` objects,
+        for instance) are dropped rather than failing the dump — the
+        JSON artifact carries the data the regression gate reads, not
+        the in-process conveniences.
+        """
+        import json
+
+        from ..core.results import _jsonify
+
+        notes: dict[str, Any] = {}
+        for key, value in self.notes.items():
+            coerced = _jsonify(value)
+            try:
+                json.dumps(coerced)
+            except (TypeError, ValueError):
+                continue
+            notes[key] = coerced
+        return {
+            "experiment": self.experiment,
+            "headers": list(self.headers),
+            "rows": [_jsonify(list(row)) for row in self.rows],
+            "notes": notes,
+        }
 
     def chart(self, baseline: float | None = None, width: int = 36) -> str:
         """The experiment's numeric columns as grouped terminal bars.
@@ -151,7 +234,7 @@ def experiment_table1(config: MachineConfig | None = None) -> ExperimentReport:
 
 
 def experiment_fig2(
-    config: MachineConfig | None = None, window: int = GAP_WINDOW
+    config: MachineConfig | None = None, window: int | None = None
 ) -> ExperimentReport:
     """Figure 2 — MPKI at L1D/L2C/LLC per GAP workload, under LRU.
 
@@ -160,6 +243,7 @@ def experiment_fig2(
     (paper: 53.2 / 44.2 / 41.8).
     """
     config = config or cascade_lake()
+    window = window if window is not None else effective_gap_window()
     traces = gap_traces(window)
     rows: list[list[object]] = []
     mpki_sums = {level: 0.0 for level in MPKI_LEVELS}
@@ -181,6 +265,8 @@ def experiment_fig2(
         notes={
             "paper_averages": {"L1D": 53.2, "L2C": 44.2, "LLC": 41.8},
             "paper_dram_fraction": 0.786,
+            "gap_window": window,
+            "gap_scale": effective_gap_scale(),
         },
     )
 
@@ -192,11 +278,13 @@ def experiment_fig3(
     config: MachineConfig | None = None,
     policies: tuple[str, ...] = PAPER_POLICIES,
     suites: tuple[str, ...] = ("spec06", "spec17", "gap"),
-    gap_window: int = GAP_WINDOW,
-    spec_window: int = SPEC_WINDOW,
+    gap_window: int | None = None,
+    spec_window: int | None = None,
 ) -> ExperimentReport:
     """Figure 3 — geomean speed-up over LRU, per suite, per policy."""
     config = config or cascade_lake()
+    gap_window = gap_window if gap_window is not None else effective_gap_window()
+    spec_window = spec_window if spec_window is not None else effective_spec_window()
     all_policies = [BASELINE_POLICY, *policies]
     rows: list[list[object]] = []
     matrices: dict[str, RunMatrix] = {}
@@ -213,7 +301,12 @@ def experiment_fig3(
         experiment="Figure 3: geomean speed-up over LRU by suite",
         headers=["suite", *policies],
         rows=rows,
-        notes={"matrices": matrices},
+        notes={
+            "matrices": matrices,
+            "gap_window": gap_window,
+            "spec_window": spec_window,
+            "gap_scale": effective_gap_scale(),
+        },
     )
 
 
@@ -223,7 +316,7 @@ def experiment_fig3(
 def experiment_llc_mpki(
     config: MachineConfig | None = None,
     policies: tuple[str, ...] = PAPER_POLICIES,
-    window: int = GAP_WINDOW,
+    window: int | None = None,
 ) -> ExperimentReport:
     """E1 — LLC MPKI of every GAP workload under every policy."""
     config = config or cascade_lake()
@@ -247,7 +340,7 @@ def experiment_llc_mpki(
 
 
 def experiment_pc_characterization(
-    gap_window: int = GAP_WINDOW, spec_window: int = SPEC_WINDOW
+    gap_window: int | None = None, spec_window: int | None = None
 ) -> ExperimentReport:
     """E2 — distinct PCs and per-PC address footprints, GAP vs SPEC."""
     profiles: list[tuple[str, PCProfile]] = []
@@ -303,11 +396,11 @@ def experiment_reuse_distance(
     }
     rows: list[list[object]] = []
     workloads: list[tuple[str, Trace]] = []
-    gap = gap_traces(GAP_WINDOW)
+    gap = gap_traces()
     for name in ("bfs", "pr", "sssp"):
         full = next(t for n, t in gap.items() if n.startswith(name))
         workloads.append(("gap", full.head(gap_window)))
-    spec = spec_traces("spec06", SPEC_WINDOW)
+    spec = spec_traces("spec06")
     for name in ("spec06.mcf", "spec06.omnetpp", "spec06.sphinx3"):
         workloads.append(("spec06", spec[name].head(spec_window)))
     for suite, trace in workloads:
@@ -373,7 +466,7 @@ def experiment_opt_headroom(
 def experiment_dram_traffic(
     config: MachineConfig | None = None,
     policies: tuple[str, ...] = ("lru", "srrip", "hawkeye"),
-    window: int = GAP_WINDOW,
+    window: int | None = None,
 ) -> ExperimentReport:
     """E5 — DRAM transactions per kilo-instruction per policy (GAP)."""
     config = config or cascade_lake()
@@ -405,7 +498,7 @@ def experiment_llc_sensitivity(
     rows: list[list[object]] = []
     traces = {
         name: trace
-        for name, trace in gap_traces(GAP_WINDOW).items()
+        for name, trace in gap_traces().items()
         if any(name.startswith(k) for k in kernels)
     }
     traces = {name: t.head(window) for name, t in traces.items()}

@@ -1,24 +1,29 @@
 """Run matrices: (workload x policy) sweeps with result aggregation.
 
 The benchmarks and examples all funnel through :class:`RunMatrix`: give
-it traces and policy names, it simulates every cell (caching nothing —
-runs are cheap enough and reproducible) and exposes the aggregations the
-paper reports: per-cell IPC/MPKI, per-workload speed-ups over a baseline,
-and per-suite geometric means.
+it traces and policy names, it simulates every cell through the sweep
+engine (:mod:`repro.harness.engine`) — parallel across ``jobs`` worker
+processes and backed by a content-addressed on-disk result cache when
+one is configured — and exposes the aggregations the paper reports:
+per-cell IPC/MPKI, per-workload speed-ups over a baseline, and
+per-suite geometric means.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..analysis.stats import geometric_mean
-from ..core.config import MachineConfig, cascade_lake
+from ..core.config import MachineConfig
 from ..core.results import SimulationResult
-from ..core.simulator import DEFAULT_WARMUP_FRACTION, simulate
+from ..core.simulator import DEFAULT_WARMUP_FRACTION
 from ..errors import SimulationError
 from ..policies.registry import BASELINE_POLICY
 from ..trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us)
+    from .engine import SweepEngine, SweepStats
 
 
 @dataclass
@@ -31,6 +36,9 @@ class RunMatrix:
 
     config: MachineConfig
     results: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
+    #: Filled by the sweep engine: how many cells were cache hits vs
+    #: simulated (None when the matrix was assembled by hand).
+    sweep_stats: "SweepStats | None" = None
 
     @property
     def workloads(self) -> list[str]:
@@ -82,30 +90,34 @@ def run_matrix(
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     progress: Callable[[str, str], None] | None = None,
     sanitize: bool = False,
+    jobs: int | None = None,
+    engine: "SweepEngine | None" = None,
 ) -> RunMatrix:
-    """Simulate every (trace, policy) pair.
+    """Simulate every (trace, policy) pair through the sweep engine.
 
-    ``progress`` (if given) is called with (workload, policy) before each
-    cell — benchmarks use it to narrate long sweeps. ``sanitize`` arms
-    the runtime invariant sanitizer on every cell (CI runs the synthetic
-    sweeps this way; see docs/linting.md).
+    Cells run in parallel across ``jobs`` worker processes (default: the
+    ``REPRO_JOBS`` environment variable, else serial) and are served
+    from the engine's content-addressed result cache when one is
+    configured (``REPRO_CACHE_DIR`` or an explicit ``engine``) — a
+    repeated sweep re-simulates nothing. ``progress`` (if given) is
+    called with (workload, policy) as each cell is dispatched —
+    benchmarks use it to narrate long sweeps. ``sanitize`` arms the
+    runtime invariant sanitizer on every cell (CI runs the synthetic
+    sweeps this way; see docs/linting.md). Cell failures propagate; use
+    :meth:`repro.harness.engine.SweepEngine.run` directly for per-cell
+    failure isolation and engine statistics.
     """
-    if isinstance(traces, list):
-        traces = {t.name: t for t in traces}
-    if config is None:
-        config = cascade_lake()
-    matrix = RunMatrix(config=config)
-    for name, trace in traces.items():
-        row: dict[str, SimulationResult] = {}
-        for policy in policies:
-            if progress is not None:
-                progress(name, policy)
-            row[policy] = simulate(
-                trace,
-                config=config,
-                llc_policy=policy,
-                warmup_fraction=warmup_fraction,
-                sanitize=sanitize,
-            )
-        matrix.results[name] = row
-    return matrix
+    from .engine import SweepEngine
+
+    if engine is None:
+        engine = SweepEngine.from_env(jobs=jobs)
+    outcome = engine.run(
+        traces,
+        policies,
+        config=config,
+        warmup_fraction=warmup_fraction,
+        progress=progress,
+        sanitize=sanitize,
+    )
+    outcome.matrix.sweep_stats = outcome.stats
+    return outcome.matrix

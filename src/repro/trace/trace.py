@@ -9,6 +9,7 @@ simulator hot loop.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Iterator, Mapping
 
 import numpy as np
@@ -48,6 +49,7 @@ class Trace:
         self._records.setflags(write=False)
         self.name = name
         self.info: dict[str, Any] = dict(info or {})
+        self._digest: str | None = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -141,6 +143,25 @@ class Trace:
     def num_instructions(self) -> int:
         """Total retired instructions represented by the trace."""
         return int(self._records["gap"].sum())
+
+    def digest(self) -> str:
+        """A stable content digest identifying this trace.
+
+        SHA-256 over the trace name and the raw bytes of each component
+        array (hashed per-component so structured-dtype padding can never
+        leak in). Two traces with identical accesses and name share a
+        digest across processes, platforms and numpy versions — the sweep
+        engine keys its on-disk result cache on it. Memoized; traces are
+        immutable so the digest never goes stale.
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(self.name.encode("utf-8"))
+            for component in (self.addrs, self.pcs, self.kinds, self.gaps):
+                h.update(b"\x00")
+                h.update(np.ascontiguousarray(component).tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     def head(self, n: int) -> "Trace":
         """The first ``n`` accesses as a new trace."""

@@ -43,11 +43,53 @@ class TestSweep:
         rc = main([
             "sweep", "spec06.milc", "gap.cc.10",
             "--policies", "srrip", "brrip", "--window", "5000",
+            "--jobs", "1", "--no-cache",
         ])
         assert rc == 0
+        captured = capsys.readouterr()
+        assert "Speed-up over LRU" in captured.out
+        assert "spec06.milc" in captured.out
+        assert "6 simulated" in captured.err  # 2 workloads x (lru + 2 policies)
+
+    def test_sweep_caches_across_invocations(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["sweep", "gap.cc.10", "--policies", "srrip",
+                "--window", "5000", "--jobs", "1"]
+        assert main(argv) == 0
+        assert "2 simulated" in capsys.readouterr().err
+        assert main(argv) == 0
+        assert "2 from cache, 0 simulated" in capsys.readouterr().err
+
+
+class TestCache:
+    def test_stats_clear_prune_cycle(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        main(["sweep", "gap.cc.10", "--policies", "srrip",
+              "--window", "5000", "--jobs", "1"])
+        capsys.readouterr()
+
+        assert main(["cache", "stats"]) == 0
         out = capsys.readouterr().out
-        assert "Speed-up over LRU" in out
-        assert "spec06.milc" in out
+        assert "entries:      2" in out
+        assert "current salt" in out
+
+        assert main(["cache", "prune"]) == 0
+        assert "pruned 0 stale entries" in capsys.readouterr().out
+
+        assert main(["cache", "clear"]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+
+    def test_salt_is_printable_and_stable(self, capsys):
+        assert main(["cache", "salt"]) == 0
+        first = capsys.readouterr().out.strip()
+        assert main(["cache", "salt"]) == 0
+        second = capsys.readouterr().out.strip()
+        assert first == second
+        assert len(first) == 16
+
+    def test_explicit_cache_dir_flag(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "x")]) == 0
+        assert "entries:      0" in capsys.readouterr().out
 
 
 class TestLint:

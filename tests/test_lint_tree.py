@@ -24,6 +24,29 @@ class TestLiveTree:
         assert findings == []
 
 
+class TestEngineCoverage:
+    def test_engine_module_is_linted(self):
+        from repro.lint.analyzer import build_context, package_root
+
+        ctx, _ = build_context([package_root()])
+        paths = {module.path for module in ctx.modules}
+        assert any(p.endswith("harness/engine.py") for p in paths), (
+            "the live-tree pass must cover the sweep engine"
+        )
+
+    def test_missing_salt_package_reported(self, monkeypatch):
+        from repro.harness import engine
+
+        monkeypatch.setattr(
+            engine, "SALT_SOURCE_PACKAGES", (*engine.SALT_SOURCE_PACKAGES, "vanished")
+        )
+        findings = [f for f in lint_tree() if f.rule == "engine-salt-coverage"]
+        assert len(findings) == 1
+        assert "vanished" in findings[0].message
+        assert findings[0].severity == Severity.ERROR
+        assert findings[0].path.endswith("harness/engine.py")
+
+
 class TestRegistryConsistency:
     def test_crashing_factory_reported(self, monkeypatch):
         def explode():

@@ -31,6 +31,31 @@ def test_simulation_throughput(benchmark, workload, policy):
     assert result.instructions > 0
 
 
+@pytest.mark.parametrize("policy", ["lru", "ship", "hawkeye"])
+def test_simulation_throughput_telemetry(benchmark, workload, policy):
+    """The telemetry-armed loop, to keep its overhead visible over time.
+
+    This is the *enabled* cost (interval sampling + per-set taps + 3C
+    classifier); the disabled path is covered by
+    ``test_simulation_throughput`` above, which must stay within 2% of
+    its pre-telemetry numbers (docs/telemetry.md records the comparison).
+    """
+    from repro.telemetry import TelemetryConfig
+
+    result = benchmark.pedantic(
+        simulate,
+        args=(workload,),
+        kwargs={
+            "config": small_test_machine(),
+            "llc_policy": policy,
+            "telemetry": TelemetryConfig(interval_instructions=10_000),
+        },
+        rounds=3,
+        iterations=1,
+    )
+    assert "telemetry" in result.info
+
+
 def test_trace_generation_throughput(benchmark):
     from repro.gap import pagerank
     from repro.graphs import kronecker

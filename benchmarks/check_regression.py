@@ -9,6 +9,13 @@ non-zero on any drift beyond tolerance — CI runs this after the smoke
 benchmark subset, so a core change that silently degrades (or inflates)
 a policy's measured speed-up fails the build.
 
+Exit codes: 0 = within tolerance, 1 = regression (or scale mismatch),
+2 = the gate could not run at all (missing results or baseline file).
+
+``--markdown PATH`` appends a GitHub-flavoured summary table to PATH —
+CI passes ``$GITHUB_STEP_SUMMARY`` so the per-metric drift table shows
+up in the job summary without downloading artifacts.
+
 The baseline records the workload scale it was captured at; results
 produced at a different scale are rejected rather than mis-compared.
 Regenerate the baseline after an intentional change with::
@@ -36,11 +43,26 @@ GATED = {
 }
 
 
+class GateError(Exception):
+    """The gate could not run at all (missing inputs) — exit code 2."""
+
+
 def _load_report(results_dir: Path, filename: str) -> dict:
     path = results_dir / filename
     if not path.is_file():
-        sys.exit(f"missing results artifact: {path} (run the smoke benchmarks first)")
+        raise GateError(
+            f"missing results artifact: {path} (run the smoke benchmarks first)"
+        )
     return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _load_baseline(expected_path: Path) -> dict:
+    if not expected_path.is_file():
+        raise GateError(
+            f"missing baseline file: {expected_path} "
+            "(capture one with check_regression.py --update)"
+        )
+    return json.loads(expected_path.read_text(encoding="utf-8"))
 
 
 def _row_values(report: dict) -> dict[str, dict[str, float]]:
@@ -67,9 +89,45 @@ def _check_scale(name: str, report: dict, expected_scale: dict, failures: list[s
             )
 
 
-def check(results_dir: Path, expected_path: Path) -> int:
-    expected = json.loads(expected_path.read_text(encoding="utf-8"))
+def _render_markdown(
+    rows: list[dict], failures: list[str], compared: int, baseline_name: str
+) -> str:
+    """The comparison as a GitHub-flavoured job-summary section."""
+    verdict = (
+        "✅ all within tolerance"
+        if not failures
+        else f"❌ {len(failures)} failure(s)"
+    )
+    lines = [
+        "## Benchmark regression gate",
+        "",
+        f"Compared **{compared}** metrics against `{baseline_name}`: {verdict}",
+        "",
+    ]
+    if rows:
+        lines += [
+            "| metric | row | column | baseline | got | drift | limit | status |",
+            "| --- | --- | --- | --- | --- | --- | --- | --- |",
+        ]
+        for r in rows:
+            status = "✅ ok" if r["ok"] else "❌ regression"
+            lines.append(
+                f"| {r['metric']} | {r['row']} | {r['column']} "
+                f"| {r['want']:.4f} | {r['got']:.4f} "
+                f"| {r['drift']:.4f} | {r['limit']:.4f} | {status} |"
+            )
+    other = [f for f in failures if not f.startswith(tuple(f"{r['metric']}[" for r in rows))]
+    if other:
+        lines += ["", "Other failures:", ""]
+        lines += [f"- {f}" for f in other]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def check(results_dir: Path, expected_path: Path, markdown: Path | None = None) -> int:
+    expected = _load_baseline(expected_path)
     failures: list[str] = []
+    rows: list[dict] = []
     compared = 0
 
     for name, spec in expected["metrics"].items():
@@ -87,19 +145,30 @@ def check(results_dir: Path, expected_path: Path) -> int:
                 compared += 1
                 drift = abs(got - want)
                 limit = tol_abs if tol_abs is not None else abs(want) * tol_rel
-                status = "ok" if drift <= limit else "REGRESSION"
+                ok = drift <= limit
+                rows.append({
+                    "metric": name, "row": row_label, "column": column,
+                    "want": want, "got": got, "drift": drift, "limit": limit,
+                    "ok": ok,
+                })
                 print(
                     f"{name:>14} {row_label:>8} {column:<16} "
                     f"expected {want:8.4f}  got {got:8.4f}  "
-                    f"drift {drift:7.4f} (limit {limit:.4f})  {status}"
+                    f"drift {drift:7.4f} (limit {limit:.4f})  "
+                    f"{'ok' if ok else 'REGRESSION'}"
                 )
-                if drift > limit:
+                if not ok:
                     failures.append(
                         f"{name}[{row_label}][{column}]: {got:.4f} vs baseline "
                         f"{want:.4f} (drift {drift:.4f} > {limit:.4f})"
                     )
 
     print(f"\ncompared {compared} metrics against {expected_path.name}")
+    if markdown is not None:
+        section = _render_markdown(rows, failures, compared, expected_path.name)
+        with open(markdown, "a", encoding="utf-8") as handle:
+            handle.write(section + "\n")
+        print(f"appended markdown summary to {markdown}")
     if failures:
         print(f"{len(failures)} failure(s):", file=sys.stderr)
         for failure in failures:
@@ -145,12 +214,19 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
     parser.add_argument("--expected", type=Path, default=DEFAULT_EXPECTED)
+    parser.add_argument("--markdown", type=Path, default=None, metavar="PATH",
+                        help="append a GitHub-flavoured summary table to PATH "
+                             "(CI passes $GITHUB_STEP_SUMMARY)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current results")
     args = parser.parse_args(argv)
-    if args.update:
-        return update(args.results, args.expected)
-    return check(args.results, args.expected)
+    try:
+        if args.update:
+            return update(args.results, args.expected)
+        return check(args.results, args.expected, markdown=args.markdown)
+    except GateError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

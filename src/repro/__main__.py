@@ -5,6 +5,8 @@ The subcommands cover the common workflows without writing a script:
 * ``simulate`` — trace one workload and run it under one policy;
 * ``sweep`` — a (workload x policy) matrix with speed-ups over LRU,
   fanned out over ``--jobs`` worker processes with on-disk caching;
+* ``profile`` — run one cell with interval-resolved telemetry armed and
+  render (or dump as JSON) its profile;
 * ``cache`` — inspect/clear/prune the sweep engine's result cache;
 * ``experiment`` — regenerate one of the paper's tables/figures;
 * ``lint`` — run the policy-contract static analyzer (and, with
@@ -85,6 +87,35 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             for lvl in ("L1I", "L1D", "L2C", "LLC")
         ],
     ))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one cell with telemetry armed and render its profile."""
+    import json
+
+    from .harness.report import render_profile
+    from .telemetry import TelemetryConfig, TelemetryProfile
+
+    trace = _build_trace(args.workload, args.window)
+    result = simulate(
+        trace,
+        config=cascade_lake(),
+        llc_policy=args.policy,
+        telemetry=TelemetryConfig(interval_instructions=args.interval),
+    )
+    profile = TelemetryProfile.from_result(result)
+    problems = profile.validate_totals(result)
+    if problems:  # cannot happen unless the collector is broken
+        for problem in problems:
+            print(f"telemetry inconsistency: {problem}", file=sys.stderr)
+        return 1
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(profile.to_json_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
+    print(render_profile(profile, markdown=args.markdown))
     return 0
 
 
@@ -267,6 +298,22 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--sanitize", action="store_true",
                          help="arm runtime invariant checks on every cache level")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_prof = sub.add_parser(
+        "profile", help="interval-resolved telemetry profile of one cell")
+    p_prof.add_argument("workload", help="gap.<kernel>[.scale] | spec06.<name> | spec17.<name>")
+    p_prof.add_argument("policy", nargs="?", default="lru",
+                        choices=available_policies(),
+                        help="LLC replacement policy (default: lru)")
+    p_prof.add_argument("--window", type=int, default=200_000,
+                        help="traced accesses (default 200k)")
+    p_prof.add_argument("--interval", type=int, default=10_000,
+                        help="interval length in instructions (default 10k)")
+    p_prof.add_argument("--json", metavar="PATH",
+                        help="also write the versioned JSON profile here")
+    p_prof.add_argument("--markdown", action="store_true",
+                        help="render as markdown instead of plain text")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_cache = sub.add_parser(
         "cache", help="inspect/clear/prune the sweep result cache")

@@ -68,6 +68,11 @@ class CoreModel:
         """Current front-end cycle."""
         return self._cycle
 
+    @property
+    def instructions(self) -> int:
+        """Instructions retired so far."""
+        return self._instr
+
     def _retire_older_than(self, instr_horizon: int) -> None:
         """Stall until loads older than the ROB horizon complete."""
         while self._inflight and self._inflight[0][0] < instr_horizon:

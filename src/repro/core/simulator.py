@@ -20,6 +20,7 @@ from ..mem.hierarchy import CacheHierarchy, HierarchyStats
 from ..mem.prefetcher import Prefetcher
 from ..policies.base import ReplacementPolicy
 from ..policies.registry import make_policy
+from ..telemetry.collector import TelemetryCollector, TelemetryConfig
 from ..trace.trace import Trace
 from .config import CacheConfig, MachineConfig, cascade_lake
 from .cpu import CoreModel
@@ -91,6 +92,34 @@ def _run_accesses(
         step(gap, kind, latency)
 
 
+def _run_accesses_telemetry(
+    hierarchy: CacheHierarchy,
+    core: CoreModel,
+    trace: Trace,
+    start: int,
+    stop: int,
+    collector: TelemetryCollector,
+) -> None:
+    """Instrumented variant of :func:`_run_accesses`.
+
+    Kept separate so the telemetry-off hot loop is byte-identical to the
+    uninstrumented one; the only additions here are a boundary compare
+    per record and an interval close whenever it trips.
+    """
+    addrs = trace.addrs[start:stop].tolist()
+    pcs = trace.pcs[start:stop].tolist()
+    kinds = trace.kinds[start:stop].tolist()
+    gaps = trace.gaps[start:stop].tolist()
+    access = hierarchy.access
+    step = core.step
+    boundary = collector.begin(core)
+    for addr, pc, kind, gap in zip(addrs, pcs, kinds, gaps):
+        latency, _ = access(addr, pc, kind, int(core.cycle))
+        step(gap, kind, latency)
+        if core.instructions >= boundary:
+            boundary = collector.on_boundary(core)
+
+
 def simulate(
     trace: Trace,
     config: MachineConfig | None = None,
@@ -99,6 +128,7 @@ def simulate(
     l2_prefetcher: Prefetcher | None = None,
     hierarchy: CacheHierarchy | None = None,
     sanitize: bool = False,
+    telemetry: TelemetryConfig | None = None,
 ) -> SimulationResult:
     """Simulate ``trace`` on a machine and return measured statistics.
 
@@ -124,6 +154,12 @@ def simulate(
         (:mod:`repro.lint.sanitize`) on every cache level. Violations
         raise :class:`~repro.lint.sanitize.SanitizerError`; the number
         of checks executed lands in ``result.info["sanitizer_checks"]``.
+    telemetry:
+        Arm interval-resolved observability (:mod:`repro.telemetry`) on
+        the measured window. The recorded
+        :class:`~repro.telemetry.profile.TelemetryProfile` lands in
+        ``result.info["telemetry"]`` as a versioned JSON document; with
+        the default ``None``, no telemetry code runs at all.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigurationError(
@@ -148,8 +184,18 @@ def simulate(
     _reset_statistics(hierarchy)
 
     core = CoreModel(config.core)
-    _run_accesses(hierarchy, core, trace, warmup_end, len(trace))
+    if telemetry is None:
+        _run_accesses(hierarchy, core, trace, warmup_end, len(trace))
+        collector = None
+    else:
+        collector = TelemetryCollector(telemetry, hierarchy)
+        collector.attach()
+        _run_accesses_telemetry(
+            hierarchy, core, trace, warmup_end, len(trace), collector
+        )
     core_stats = core.drain()
+    if collector is not None:
+        collector.finalize(core)
 
     info = {
         "warmup_accesses": warmup_end,
@@ -159,6 +205,8 @@ def simulate(
     if sanitizers is not None:
         info["sanitizer_checks"] = sanitizers.total_checks
         info["sanitizer_evictions_verified"] = sanitizers.evictions_verified
+    if collector is not None:
+        info["telemetry"] = collector.profile(trace.name, policy_name).to_json_dict()
     return snapshot_result(
         workload=trace.name,
         policy=policy_name,

@@ -33,6 +33,7 @@ import json
 import os
 import shutil
 import traceback as traceback_module
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -43,6 +44,7 @@ from ..core.config import MachineConfig, cascade_lake
 from ..core.results import RESULT_SCHEMA_VERSION, SimulationResult
 from ..core.simulator import DEFAULT_WARMUP_FRACTION, simulate
 from ..errors import SimulationError
+from ..telemetry.collector import TelemetryConfig
 from ..trace.trace import Trace
 from .runner import RunMatrix
 
@@ -51,8 +53,9 @@ from .runner import RunMatrix
 CACHE_ENTRY_VERSION = 1
 
 #: Subpackages whose source text defines simulation semantics: any edit
-#: to them must invalidate cached results.
-SALT_SOURCE_PACKAGES = ("core", "mem", "policies")
+#: to them must invalidate cached results. Telemetry is included because
+#: its profile rides inside ``result.info`` of telemetry-armed cells.
+SALT_SOURCE_PACKAGES = ("core", "mem", "policies", "telemetry")
 
 #: Environment variables the default engine is configured from.
 ENV_JOBS = "REPRO_JOBS"
@@ -92,6 +95,7 @@ def cell_key(
     warmup_fraction: float,
     sanitize: bool = False,
     salt: str | None = None,
+    telemetry: TelemetryConfig | None = None,
 ) -> str:
     """The content address of one sweep cell.
 
@@ -99,8 +103,8 @@ def cell_key(
     the cell's result: the trace's content digest, the policy registry
     name (policy *parameters* live in the policy source, which the salt
     covers), the full machine configuration, the warm-up fraction, the
-    sanitize flag (it adds fields to ``result.info``) and the simulator
-    salt.
+    sanitize flag and telemetry configuration (both add fields to
+    ``result.info``) and the simulator salt.
     """
     doc = {
         "trace": trace.digest(),
@@ -108,6 +112,7 @@ def cell_key(
         "config": config.to_json_dict(),
         "warmup_fraction": warmup_fraction,
         "sanitize": bool(sanitize),
+        "telemetry": telemetry.to_json_dict() if telemetry is not None else None,
         "salt": salt if salt is not None else simulator_salt(),
     }
     canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
@@ -189,11 +194,28 @@ class ResultCache:
     temp file + ``os.replace`` so a crash mid-write can never leave a
     half-written entry behind; a corrupt or schema-mismatched entry is
     treated as a miss and deleted.
+
+    An unwritable cache location (read-only filesystem, root shadowed by
+    a file, permission loss mid-sweep) degrades to uncached operation
+    with a single :class:`RuntimeWarning` — a sweep never dies because
+    its cache directory did.
     """
 
     def __init__(self, root: str | Path, salt: str | None = None) -> None:
         self.root = Path(root)
         self.salt = salt if salt is not None else simulator_salt()
+        self._disabled = False
+
+    def _disable(self, exc: OSError) -> None:
+        """Fall back to uncached operation after a filesystem failure."""
+        if not self._disabled:
+            self._disabled = True
+            warnings.warn(
+                f"result cache at {self.root} is unusable ({exc}); "
+                "continuing without caching",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def path_for(self, key: str) -> Path:
         return self.root / self.salt / key[:2] / f"{key}.json"
@@ -209,13 +231,25 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, KeyError, TypeError, SimulationError):
-            path.unlink(missing_ok=True)  # self-heal: corrupt entry = miss
+            try:
+                path.unlink(missing_ok=True)  # self-heal: corrupt entry = miss
+            except OSError as exc:
+                self._disable(exc)
+            return None
+        except OSError as exc:  # unreadable root (e.g. shadowed by a file)
+            self._disable(exc)
             return None
 
-    def store(self, key: str, result: SimulationResult) -> Path:
-        """Atomically persist one cell result under ``key``."""
+    def store(self, key: str, result: SimulationResult) -> Path | None:
+        """Atomically persist one cell result under ``key``.
+
+        Returns the entry path, or ``None`` when the cache location is
+        unwritable (the failure is warned about once and the cache
+        degrades to a no-op).
+        """
+        if self._disabled:
+            return None
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         doc = {
             "entry_version": CACHE_ENTRY_VERSION,
             "salt": self.salt,
@@ -223,8 +257,13 @@ class ResultCache:
             "result": result.to_json_dict(),
         }
         tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        tmp.write_text(json.dumps(doc), encoding="utf-8")
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(doc), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as exc:
+            self._disable(exc)
+            return None
         return path
 
     def _entry_files(self) -> list[Path]:
@@ -243,24 +282,40 @@ class ResultCache:
         return report
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        A read-only cache directory warns and reports zero removals
+        instead of raising.
+        """
         removed = len(self._entry_files())
         if self.root.is_dir():
-            shutil.rmtree(self.root)
+            try:
+                shutil.rmtree(self.root)
+            except OSError as exc:
+                self._disable(exc)
+                return 0
         return removed
 
     def prune(self) -> int:
-        """Delete entries minted under a stale simulator salt."""
+        """Delete entries minted under a stale simulator salt.
+
+        A read-only cache directory warns and reports what could be
+        removed before the failure instead of raising.
+        """
         removed = 0
         if not self.root.is_dir():
             return removed
-        for child in self.root.iterdir():
-            if child.is_dir() and child.name != self.salt:
-                removed += sum(1 for _ in child.rglob("*.json"))
-                shutil.rmtree(child)
-        # Stray temp files from crashed writers are stale by definition.
-        for tmp in self.root.rglob("*.tmp-*"):
-            tmp.unlink(missing_ok=True)
+        try:
+            for child in self.root.iterdir():
+                if child.is_dir() and child.name != self.salt:
+                    stale = sum(1 for _ in child.rglob("*.json"))
+                    shutil.rmtree(child)
+                    removed += stale
+            # Stray temp files from crashed writers are stale by definition.
+            for tmp in self.root.rglob("*.tmp-*"):
+                tmp.unlink(missing_ok=True)
+        except OSError as exc:
+            self._disable(exc)
         return removed
 
 
@@ -271,6 +326,7 @@ def _simulate_cell(
     config: MachineConfig,
     warmup_fraction: float,
     sanitize: bool,
+    telemetry: TelemetryConfig | None = None,
 ) -> tuple[str, str, SimulationResult]:
     """Worker entry point: simulate one cell (runs in a pool process)."""
     result = simulate(
@@ -279,6 +335,7 @@ def _simulate_cell(
         llc_policy=policy,
         warmup_fraction=warmup_fraction,
         sanitize=sanitize,
+        telemetry=telemetry,
     )
     return workload, policy, result
 
@@ -332,6 +389,7 @@ class SweepEngine:
         progress: Callable[[str, str], None] | None = None,
         sanitize: bool = False,
         isolate_failures: bool = False,
+        telemetry: TelemetryConfig | None = None,
     ) -> SweepOutcome:
         """Run every (trace, policy) cell and assemble a :class:`RunMatrix`.
 
@@ -342,7 +400,10 @@ class SweepEngine:
         a failing cell becomes a :class:`CellError` in the outcome and
         the rest of the sweep completes; otherwise the first failure
         propagates (completed cells are already checkpointed, so a rerun
-        resumes past them).
+        resumes past them). ``telemetry`` arms interval-resolved
+        observability (:mod:`repro.telemetry`) on every cell; the
+        configuration is part of each cell's cache key, so telemetry-
+        armed results never collide with plain ones.
         """
         if isinstance(traces, list):
             traces = {t.name: t for t in traces}
@@ -362,7 +423,7 @@ class SweepEngine:
             if self.cache is not None:
                 key = cell_key(
                     traces[workload], policy, config, warmup_fraction,
-                    sanitize=sanitize, salt=self.salt,
+                    sanitize=sanitize, salt=self.salt, telemetry=telemetry,
                 )
                 keys[(workload, policy)] = key
                 cached = self.cache.load(key)
@@ -394,7 +455,7 @@ class SweepEngine:
 
         if self.jobs > 1 and len(pending) > 1:
             self._run_parallel(
-                pending, traces, config, warmup_fraction, sanitize,
+                pending, traces, config, warmup_fraction, sanitize, telemetry,
                 record, record_failure,
             )
         else:
@@ -402,7 +463,7 @@ class SweepEngine:
                 try:
                     _, _, result = _simulate_cell(
                         workload, policy, traces[workload], config,
-                        warmup_fraction, sanitize,
+                        warmup_fraction, sanitize, telemetry,
                     )
                 except Exception as exc:
                     record_failure(workload, policy, exc)
@@ -427,6 +488,7 @@ class SweepEngine:
         config: MachineConfig,
         warmup_fraction: float,
         sanitize: bool,
+        telemetry: TelemetryConfig | None,
         record: Callable[[str, str, SimulationResult], None],
         record_failure: Callable[[str, str, Exception], None],
     ) -> None:
@@ -441,7 +503,7 @@ class SweepEngine:
             futures: dict[Future, tuple[str, str]] = {
                 pool.submit(
                     _simulate_cell, workload, policy, traces[workload],
-                    config, warmup_fraction, sanitize,
+                    config, warmup_fraction, sanitize, telemetry,
                 ): (workload, policy)
                 for workload, policy in pending
             }

@@ -3,7 +3,9 @@
 ``generate_report()`` runs a set of experiment functions and renders
 their tables (plus optional charts) into a single markdown file — the
 "regenerate the paper's evaluation section" button. The CLI exposes it
-as ``python -m repro report``.
+as ``python -m repro report``. ``render_profile()`` turns a telemetry
+profile (:mod:`repro.telemetry`) into the text/markdown summary behind
+``python -m repro profile`` and the CI job summaries.
 """
 
 from __future__ import annotations
@@ -12,10 +14,125 @@ import time
 from pathlib import Path
 from typing import Callable, Mapping
 
+from ..analysis.tables import format_table
+from ..telemetry.profile import MISS_CLASSES, TelemetryProfile
 from .experiments import ExperimentReport
 
 #: Experiments rendered with a baseline-1.0 chart (speed-up figures).
 _BASELINE_CHARTS = {"fig3"}
+
+#: Cache levels shown in the per-interval MPKI columns.
+_PROFILE_LEVELS = ("L1D", "L2C", "LLC")
+
+
+def _markdown_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def _downsample(count: int, keep: int) -> list[int]:
+    """Evenly spaced indices into ``range(count)``, always keeping the ends."""
+    if count <= keep:
+        return list(range(count))
+    step = (count - 1) / (keep - 1)
+    return sorted({round(i * step) for i in range(keep)})
+
+
+def _snapshot_summary(state: Mapping[str, object]) -> list[str]:
+    """Compact ``key=value`` strings for one policy snapshot."""
+    parts = []
+    for key in sorted(state):
+        value = state[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.3f}")
+        elif isinstance(value, list):
+            if len(value) <= 8:
+                parts.append(f"{key}={value}")
+            else:
+                parts.append(f"{key}=<{len(value)} entries>")
+        else:
+            parts.append(f"{key}={value}")
+    return parts
+
+
+def render_profile(
+    profile: TelemetryProfile, markdown: bool = False, max_intervals: int = 20
+) -> str:
+    """Render a telemetry profile as plain text (or a markdown summary).
+
+    The interval table is downsampled to ``max_intervals`` evenly spaced
+    rows; the totals, miss classification, eviction pressure and final
+    policy snapshot always reflect the whole profile.
+    """
+    instructions = profile.instructions
+    cycles = sum(s.cycles for s in profile.intervals)
+    header = [
+        f"workload: {profile.workload}",
+        f"policy: {profile.policy}",
+        f"intervals: {len(profile.intervals)} x {profile.interval_instructions} instructions",
+        f"measured: {instructions} instructions, IPC "
+        f"{instructions / cycles if cycles else 0.0:.3f}, "
+        f"LLC MPKI {1000.0 * profile.total_demand_misses('LLC') / instructions if instructions else 0.0:.2f}",
+    ]
+
+    headers = ["instr", "IPC", *[f"{lvl} MPKI" for lvl in _PROFILE_LEVELS],
+               "DRAM rd", "DRAM wr"]
+    rows = []
+    for i in _downsample(len(profile.intervals), max_intervals):
+        s = profile.intervals[i]
+        rows.append([
+            str(s.end_instructions),
+            f"{s.ipc:.3f}",
+            *[f"{s.mpki(lvl):.2f}" for lvl in _PROFILE_LEVELS],
+            str(s.dram_reads),
+            str(s.dram_writes),
+        ])
+
+    tail: list[str] = []
+    if profile.miss_classes:
+        total = sum(profile.miss_classes.get(c, 0) for c in MISS_CLASSES)
+        split = ", ".join(
+            f"{c} {profile.miss_classes.get(c, 0)}"
+            f" ({100.0 * profile.miss_classes.get(c, 0) / total:.1f}%)"
+            if total else f"{c} 0"
+            for c in MISS_CLASSES
+        )
+        tail.append(f"LLC miss classes: {split}")
+    if profile.llc_evictions_per_set:
+        hottest = ", ".join(
+            f"set {idx}: {count}" for idx, count in profile.hottest_sets(3)
+        )
+        tail.append(
+            f"LLC eviction skew: {profile.eviction_skew:.2f} "
+            f"(max/mean; hottest {hottest})"
+        )
+    if profile.policy_snapshots:
+        final = profile.policy_snapshots[-1]
+        summary = _snapshot_summary(final.state)
+        if summary:
+            tail.append(
+                f"policy state @ {final.end_instructions}: " + ", ".join(summary)
+            )
+
+    if markdown:
+        parts = [f"### Telemetry: {profile.workload} x {profile.policy}", ""]
+        parts.append("\n".join(f"- {line}" for line in header[2:]))
+        parts.append("")
+        parts.append(_markdown_table(headers, rows))
+        if tail:
+            parts.append("")
+            parts.append("\n".join(f"- {line}" for line in tail))
+        return "\n".join(parts)
+
+    parts = header[:]
+    parts.append("")
+    parts.append(format_table(headers, rows, title="per-interval series"))
+    parts.extend(tail)
+    return "\n".join(parts)
 
 
 def generate_report(

@@ -23,6 +23,7 @@ from ..policies.registry import BASELINE_POLICY
 from ..trace.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us)
+    from ..telemetry.collector import TelemetryConfig
     from .engine import SweepEngine, SweepStats
 
 
@@ -92,6 +93,7 @@ def run_matrix(
     sanitize: bool = False,
     jobs: int | None = None,
     engine: "SweepEngine | None" = None,
+    telemetry: "TelemetryConfig | None" = None,
 ) -> RunMatrix:
     """Simulate every (trace, policy) pair through the sweep engine.
 
@@ -103,7 +105,10 @@ def run_matrix(
     called with (workload, policy) as each cell is dispatched —
     benchmarks use it to narrate long sweeps. ``sanitize`` arms the
     runtime invariant sanitizer on every cell (CI runs the synthetic
-    sweeps this way; see docs/linting.md). Cell failures propagate; use
+    sweeps this way; see docs/linting.md). ``telemetry`` arms
+    interval-resolved observability on every cell (see
+    docs/telemetry.md); each cell's profile lands in its
+    ``result.info["telemetry"]``. Cell failures propagate; use
     :meth:`repro.harness.engine.SweepEngine.run` directly for per-cell
     failure isolation and engine statistics.
     """
@@ -118,6 +123,7 @@ def run_matrix(
         warmup_fraction=warmup_fraction,
         progress=progress,
         sanitize=sanitize,
+        telemetry=telemetry,
     )
     outcome.matrix.sweep_stats = outcome.stats
     return outcome.matrix

@@ -22,6 +22,7 @@ from ..trace.record import AccessKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..lint.sanitize import InvariantSanitizer
+    from ..telemetry.collector import CacheTap
 
 _DEMAND_KINDS = (AccessKind.LOAD, AccessKind.STORE, AccessKind.IFETCH)
 
@@ -141,11 +142,18 @@ class Cache:
         # Optional runtime invariant checks (repro.lint.sanitize); the
         # default hot path pays exactly one `is None` test per operation.
         self._sanitizer: InvariantSanitizer | None = None
+        # Optional telemetry tap (repro.telemetry); same cost model as
+        # the sanitizer — one `is None` test per operation when off.
+        self._telemetry: CacheTap | None = None
 
     def attach_sanitizer(self, sanitizer: InvariantSanitizer) -> None:
         """Arm opt-in invariant checking on every subsequent operation."""
         self._sanitizer = sanitizer
         sanitizer.bind(self)
+
+    def attach_telemetry(self, tap: CacheTap | None) -> None:
+        """Arm (or, with ``None``, disarm) the telemetry tap."""
+        self._telemetry = tap
 
     # -- inspection -----------------------------------------------------------
 
@@ -165,6 +173,10 @@ class Cache:
     def occupancy(self) -> int:
         """Number of valid lines."""
         return sum(1 for row in self._tags for t in row if t != -1)
+
+    def set_occupancies(self) -> list[int]:
+        """Valid-line count per set, in set order (telemetry/debug)."""
+        return [sum(1 for t in row if t != -1) for row in self._tags]
 
     # -- the access path ----------------------------------------------------------
 
@@ -208,6 +220,8 @@ class Cache:
                 break
         hit = way >= 0
         self._count(kind, hit)
+        if self._telemetry is not None:
+            self._telemetry.on_access(block, kind, hit)
         if hit:
             self.policy.on_hit(set_index, way, PolicyAccess(block, pc, kind))
             if kind == AccessKind.STORE or kind == AccessKind.WRITEBACK:
@@ -248,6 +262,8 @@ class Cache:
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.dirty_evictions += 1
+            if self._telemetry is not None:
+                self._telemetry.on_eviction(set_index)
             if sanitizer is not None:
                 sanitizer.expect_eviction(set_index, way, victim_block)
             self.policy.on_eviction(set_index, way, victim_block)

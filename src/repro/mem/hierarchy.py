@@ -30,7 +30,10 @@ from .dram import DRAM
 from .prefetcher import Prefetcher
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Mapping
+
     from ..lint.sanitize import HierarchySanitizer
+    from ..telemetry.collector import CacheTap
 
 
 class ServiceLevel(enum.IntEnum):
@@ -95,6 +98,12 @@ class CacheHierarchy:
     def attach_sanitizer(self, sanitizer: HierarchySanitizer) -> None:
         """Arm opt-in cross-level invariant checks (inclusion sweeps)."""
         self._sanitizer = sanitizer
+
+    def attach_telemetry(self, taps: Mapping[str, CacheTap | None]) -> None:
+        """Attach (or, with ``None`` values, detach) telemetry taps by level name."""
+        caches = self.caches
+        for name, tap in taps.items():
+            caches[name].attach_telemetry(tap)
 
     @property
     def caches(self) -> dict[str, Cache]:

@@ -101,5 +101,16 @@ class ReplacementPolicy(abc.ABC):
         Default: no-op; override in policies that learn from evictions.
         """
 
+    def snapshot_state(self) -> dict[str, object]:
+        """A JSON-serializable summary of the policy's internal state.
+
+        Called by the telemetry collector (:mod:`repro.telemetry`) at
+        interval boundaries, so it must be cheap relative to the interval
+        length and must not mutate any state. Override to expose
+        aggregate predictor/recency statistics (RRPV histograms, SHCT
+        confidence, predictor counters); the default exposes nothing.
+        """
+        return {}
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(sets={self.num_sets}, ways={self.num_ways})"

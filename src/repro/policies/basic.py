@@ -48,6 +48,9 @@ class LRUPolicy(ReplacementPolicy):
     def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
         self._touch(set_index, way)
 
+    def snapshot_state(self) -> dict[str, object]:
+        return {"clock": self._clock}
+
 
 class MRUPolicy(LRUPolicy):
     """Most-recently-used eviction — an intentionally bad policy.

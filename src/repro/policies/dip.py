@@ -137,3 +137,14 @@ class DIPPolicy(BIPPolicy):
         if not access.is_writeback and not access.is_prefetch:
             self.record_demand_miss(set_index)
         super().on_fill(set_index, way, access)
+
+    def snapshot_state(self) -> dict[str, object]:
+        return {
+            "psel": self._psel,
+            "psel_max": self._psel_max,
+            # Below midpoint: followers insert at MRU (LRU leaders miss less).
+            "winning_component": (
+                "lru" if self._psel < (self._psel_max + 1) // 2 else "bip"
+            ),
+            "fill_count": self._fill_count,
+        }

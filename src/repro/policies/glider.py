@@ -161,3 +161,20 @@ class GliderPolicy(ReplacementPolicy):
     def optgen_hit_rate(self) -> float:
         """OPT hit rate reconstructed on the sampled sets."""
         return self._sampler.aggregate_opt_hit_rate()
+
+    def snapshot_state(self) -> dict[str, object]:
+        positive = negative = 0
+        for weights in self._isvms:
+            for weight in weights:
+                if weight > 0:
+                    positive += 1
+                elif weight < 0:
+                    negative += 1
+        return {
+            "isvm_positive_weights": positive,
+            "isvm_negative_weights": negative,
+            "isvm_total_weights": ISVM_TABLE_SIZE * ISVM_WEIGHTS,
+            "friendly_fills": self.stat_friendly_fills,
+            "averse_fills": self.stat_averse_fills,
+            "optgen_hit_rate": self.optgen_hit_rate,
+        }

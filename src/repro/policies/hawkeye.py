@@ -140,3 +140,17 @@ class HawkeyePolicy(ReplacementPolicy):
     def optgen_hit_rate(self) -> float:
         """OPT hit rate reconstructed on the sampled sets."""
         return self._sampler.aggregate_opt_hit_rate()
+
+    def snapshot_state(self) -> dict[str, object]:
+        hist = [0] * (COUNTER_MAX + 1)
+        for counter in self._counters:
+            hist[counter] += 1
+        return {
+            "predictor_histogram": hist,
+            "predictor_friendly_fraction": (
+                sum(hist[FRIENDLY_THRESHOLD:]) / PREDICTOR_SIZE
+            ),
+            "friendly_fills": self.stat_friendly_fills,
+            "averse_fills": self.stat_averse_fills,
+            "optgen_hit_rate": self.optgen_hit_rate,
+        }

@@ -172,3 +172,20 @@ class MPPPBPolicy(ReplacementPolicy):
         """Fraction of fill attempts that were bypassed."""
         total = self.stat_fills + self.stat_bypasses
         return self.stat_bypasses / total if total else 0.0
+
+    def snapshot_state(self) -> dict[str, object]:
+        positive = negative = 0
+        for table in self._weights:
+            for weight in table:
+                if weight > 0:
+                    positive += 1
+                elif weight < 0:
+                    negative += 1
+        return {
+            "weight_positive": positive,
+            "weight_negative": negative,
+            "weight_total": NUM_FEATURES * TABLE_SIZE,
+            "bypasses": self.stat_bypasses,
+            "fills": self.stat_fills,
+            "bypass_rate": self.bypass_rate,
+        }

@@ -59,6 +59,13 @@ class SRRIPPolicy(ReplacementPolicy):
     def _insertion_rrpv(self, set_index: int, access: PolicyAccess) -> int:
         return RRPV_MAX - 1
 
+    def snapshot_state(self) -> dict[str, object]:
+        hist = [0] * (RRPV_MAX + 1)
+        for row in self._rrpv:
+            for value in row:
+                hist[value] += 1
+        return {"rrpv_histogram": hist}
+
 
 class BRRIPPolicy(SRRIPPolicy):
     """Bimodal RRIP: inserts at distant RRPV, rarely at long.
@@ -83,6 +90,11 @@ class BRRIPPolicy(SRRIPPolicy):
         if self._fill_count % BRRIP_LONG_PERIOD == 0:
             return RRPV_MAX - 1
         return RRPV_MAX
+
+    def snapshot_state(self) -> dict[str, object]:
+        state = super().snapshot_state()
+        state["fill_count"] = self._fill_count
+        return state
 
 
 class DRRIPPolicy(SRRIPPolicy):
@@ -160,3 +172,13 @@ class DRRIPPolicy(SRRIPPolicy):
         if not access.is_writeback and not access.is_prefetch:
             self.record_demand_miss(set_index)
         super().on_fill(set_index, way, access)
+
+    def snapshot_state(self) -> dict[str, object]:
+        state = super().snapshot_state()
+        state["psel"] = self._psel
+        state["psel_max"] = self._psel_max
+        # Below midpoint: followers insert like SRRIP (its leaders miss less).
+        state["winning_component"] = (
+            "srrip" if self._psel < (self._psel_max + 1) // 2 else "brrip"
+        )
+        return state

@@ -87,3 +87,18 @@ class SHiPPolicy(ReplacementPolicy):
             self._rrpv[set_index][way] = RRPV_MAX
         else:
             self._rrpv[set_index][way] = RRPV_MAX - 1
+
+    def snapshot_state(self) -> dict[str, object]:
+        shct_hist = [0] * (SHCT_MAX + 1)
+        for counter in self._shct:
+            shct_hist[counter] += 1
+        rrpv_hist = [0] * (RRPV_MAX + 1)
+        for row in self._rrpv:
+            for value in row:
+                rrpv_hist[value] += 1
+        return {
+            "shct_histogram": shct_hist,
+            # Signatures predicted dead-on-arrival (counter saturated at 0).
+            "shct_dead_fraction": shct_hist[0] / SHCT_SIZE,
+            "rrpv_histogram": rrpv_hist,
+        }

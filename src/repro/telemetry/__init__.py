@@ -1,0 +1,30 @@
+"""Opt-in, interval-resolved simulator observability.
+
+Pass a :class:`TelemetryConfig` to :func:`repro.core.simulator.simulate`
+(or ``run_matrix``/the sweep engine/``repro profile``) to record a
+:class:`TelemetryProfile`: per-interval IPC / MPKI / hit-rate / DRAM
+series, per-set LLC eviction and occupancy histograms, an online 3C miss
+classification, and mid-run policy-state snapshots. When no config is
+passed, none of this code runs — the simulator's hot path is unchanged.
+"""
+
+from .collector import CacheTap, MissClassifier, TelemetryCollector, TelemetryConfig
+from .profile import (
+    MISS_CLASSES,
+    PROFILE_SCHEMA_VERSION,
+    IntervalSample,
+    PolicySnapshot,
+    TelemetryProfile,
+)
+
+__all__ = [
+    "MISS_CLASSES",
+    "PROFILE_SCHEMA_VERSION",
+    "CacheTap",
+    "IntervalSample",
+    "MissClassifier",
+    "PolicySnapshot",
+    "TelemetryCollector",
+    "TelemetryConfig",
+    "TelemetryProfile",
+]

@@ -1,0 +1,278 @@
+"""Opt-in, zero-overhead-when-off run instrumentation.
+
+The :class:`TelemetryCollector` observes a simulation from the outside:
+the driver (:func:`repro.core.simulator.simulate`) runs its normal hot
+loop when telemetry is off (no collector object exists, so the disabled
+path is *identical* to the uninstrumented one), and an instrumented
+variant when a collector is armed. The collector
+
+* snapshots every cumulative counter (core, per-level cache stats, DRAM)
+  at instruction-interval boundaries and records the integer *deltas*,
+  so the interval series sums back to the aggregate result bit-exactly;
+* attaches a lightweight :class:`CacheTap` to the LLC that counts
+  per-set evictions and feeds an online 3C :class:`MissClassifier`
+  (one ``is None`` test on the cache hot path when detached — the same
+  cost model as the invariant sanitizer);
+* captures :meth:`~repro.policies.base.ReplacementPolicy.snapshot_state`
+  at each boundary, making RRIP RRPV distributions, SHiP SHCT confidence
+  and Hawkeye/Glider predictor state inspectable mid-run.
+
+Telemetry is pure observation: it never mutates simulator state, so an
+instrumented run produces bit-identical ``SimulationResult`` counters to
+an uninstrumented one (plus the profile riding in ``result.info``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ConfigurationError
+from ..trace.record import AccessKind
+from .profile import IntervalSample, PolicySnapshot, TelemetryProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.cpu import CoreModel
+    from ..mem.hierarchy import CacheHierarchy
+
+#: Access kinds that count as demand for the miss classifier.
+_DEMAND_KINDS = (AccessKind.LOAD, AccessKind.STORE, AccessKind.IFETCH)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to record and how often.
+
+    The configuration is part of the sweep engine's cache key (two runs
+    with different telemetry settings produce different ``result.info``),
+    so it must serialize canonically — :meth:`to_json_dict`.
+    """
+
+    #: Interval length in committed instructions.
+    interval_instructions: int = 10_000
+    #: Record per-set LLC eviction counts + occupancy histograms.
+    per_set: bool = True
+    #: Run the online 3C classifier over LLC demand accesses.
+    classify_misses: bool = True
+    #: Capture ``Policy.snapshot_state()`` at each interval boundary.
+    policy_snapshots: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_instructions <= 0:
+            raise ConfigurationError(
+                f"interval_instructions must be positive, got {self.interval_instructions}"
+            )
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Canonical plain-dict form (cache keys and profile embedding)."""
+        return asdict(self)
+
+
+class MissClassifier:
+    """Online 3C classification of one level's demand stream.
+
+    Tracks every block ever demanded (compulsory detection) and models a
+    fully-associative LRU cache of the same capacity with an ordered
+    dict (capacity-vs-conflict split): a set-associative miss that the
+    fully-associative model would have hit is a conflict miss; one it
+    would also miss, on a previously-seen block, is a capacity miss.
+
+    The classifier observes only the measured window (it is attached
+    after warm-up), so "compulsory" means *first touch within the
+    measured window* — see docs/telemetry.md.
+    """
+
+    __slots__ = ("capacity_blocks", "compulsory", "capacity", "conflict",
+                 "demand_accesses", "demand_hits", "_fa", "_seen")
+
+    def __init__(self, capacity_blocks: int) -> None:
+        self.capacity_blocks = capacity_blocks
+        self.compulsory = 0
+        self.capacity = 0
+        self.conflict = 0
+        self.demand_accesses = 0
+        self.demand_hits = 0
+        self._fa: OrderedDict[int, None] = OrderedDict()
+        self._seen: set[int] = set()
+
+    def observe(self, block: int, sa_hit: bool) -> None:
+        """Feed one demand access (block address, set-associative outcome)."""
+        self.demand_accesses += 1
+        fa = self._fa
+        fa_hit = block in fa
+        if fa_hit:
+            fa.move_to_end(block)
+        else:
+            fa[block] = None
+            if len(fa) > self.capacity_blocks:
+                fa.popitem(last=False)
+        new = block not in self._seen
+        if new:
+            self._seen.add(block)
+        if sa_hit:
+            self.demand_hits += 1
+            return
+        if new:
+            self.compulsory += 1
+        elif fa_hit:
+            self.conflict += 1
+        else:
+            self.capacity += 1
+
+    def counts(self) -> dict[str, int]:
+        """The classification as a plain dict (profile embedding)."""
+        return {
+            "compulsory": self.compulsory,
+            "capacity": self.capacity,
+            "conflict": self.conflict,
+            "demand_accesses": self.demand_accesses,
+            "demand_hits": self.demand_hits,
+        }
+
+
+class CacheTap:
+    """Per-cache telemetry sink consulted from the cache hot path.
+
+    The cache pays one ``is None`` test per operation when no tap is
+    attached; with a tap attached the callbacks are a few integer
+    operations. Kind filtering happens here, not in the cache, to keep
+    the disabled path free of extra branches.
+    """
+
+    __slots__ = ("evictions_per_set", "classifier")
+
+    def __init__(self, num_sets: int, classifier: MissClassifier | None = None) -> None:
+        self.evictions_per_set = [0] * num_sets
+        self.classifier = classifier
+
+    def on_access(self, block: int, kind: int, hit: bool) -> None:
+        """Called by :meth:`Cache.access` for every probe."""
+        if self.classifier is not None and kind in _DEMAND_KINDS:
+            self.classifier.observe(block, hit)
+
+    def on_eviction(self, set_index: int) -> None:
+        """Called by :meth:`Cache.fill` when a valid victim is evicted."""
+        self.evictions_per_set[set_index] += 1
+
+
+class TelemetryCollector:
+    """Samples one simulation run into a :class:`TelemetryProfile`.
+
+    Lifecycle (driven by :func:`repro.core.simulator.simulate`):
+    ``attach()`` after the warm-up statistics reset, ``begin(core)``
+    before the measured loop (returns the first boundary),
+    ``on_boundary(core)`` whenever the committed instruction count
+    crosses it (returns the next boundary), and ``finalize(core)`` after
+    the core drains — which closes the final partial interval and
+    detaches the tap. ``profile()`` then freezes everything recorded.
+    """
+
+    def __init__(self, config: TelemetryConfig, hierarchy: "CacheHierarchy") -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        llc = hierarchy.llc
+        classifier = None
+        if config.classify_misses:
+            classifier = MissClassifier(llc.num_sets * llc.num_ways)
+        self._classifier = classifier
+        self._tap = CacheTap(llc.num_sets, classifier)
+        self._samples: list[IntervalSample] = []
+        self._snapshots: list[PolicySnapshot] = []
+        self._last: dict[str, Any] | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Arm the LLC tap (call after the warm-up statistics reset)."""
+        if self.config.per_set or self.config.classify_misses:
+            self.hierarchy.attach_telemetry({"LLC": self._tap})
+
+    def begin(self, core: "CoreModel") -> int:
+        """Snapshot the measurement-window origin; returns the first boundary."""
+        self._last = self._cumulative(core)
+        return core.instructions + self.config.interval_instructions
+
+    def on_boundary(self, core: "CoreModel") -> int:
+        """Close the current interval; returns the next boundary."""
+        self._close_interval(core)
+        interval = self.config.interval_instructions
+        # Re-align so one long-gap access cannot spawn empty intervals.
+        return (core.instructions // interval + 1) * interval
+
+    def finalize(self, core: "CoreModel") -> None:
+        """Close the final partial interval and detach from the caches."""
+        assert self._last is not None, "finalize() before begin()"
+        if core.instructions > self._last["instructions"] or not self._samples:
+            self._close_interval(core)
+        self.hierarchy.attach_telemetry({"LLC": None})
+
+    # -- sampling -------------------------------------------------------------
+
+    def _cumulative(self, core: "CoreModel") -> dict[str, Any]:
+        """Snapshot every cumulative counter the interval series derives from."""
+        dram = self.hierarchy.dram.stats
+        return {
+            "instructions": core.instructions,
+            "cycles": core.cycle,
+            "levels": {
+                name: (cache.stats.demand_accesses, cache.stats.demand_hits)
+                for name, cache in self.hierarchy.caches.items()
+            },
+            "dram_reads": dram.reads,
+            "dram_writes": dram.writes,
+        }
+
+    def _close_interval(self, core: "CoreModel") -> None:
+        assert self._last is not None, "interval close before begin()"
+        now = self._cumulative(core)
+        last = self._last
+        occupancy = None
+        if self.config.per_set:
+            llc = self.hierarchy.llc
+            occupancy = [0] * (llc.num_ways + 1)
+            for count in llc.set_occupancies():
+                occupancy[count] += 1
+        self._samples.append(
+            IntervalSample(
+                end_instructions=now["instructions"],
+                end_cycles=now["cycles"],
+                instructions=now["instructions"] - last["instructions"],
+                cycles=now["cycles"] - last["cycles"],
+                levels={
+                    name: {
+                        "demand_accesses": now["levels"][name][0] - last["levels"][name][0],
+                        "demand_hits": now["levels"][name][1] - last["levels"][name][1],
+                    }
+                    for name in now["levels"]
+                },
+                dram_reads=now["dram_reads"] - last["dram_reads"],
+                dram_writes=now["dram_writes"] - last["dram_writes"],
+                llc_occupancy=occupancy,
+            )
+        )
+        if self.config.policy_snapshots:
+            self._snapshots.append(
+                PolicySnapshot(
+                    end_instructions=now["instructions"],
+                    state=self.hierarchy.llc.policy.snapshot_state(),
+                )
+            )
+        self._last = now
+
+    # -- output ---------------------------------------------------------------
+
+    def profile(self, workload: str, policy: str) -> TelemetryProfile:
+        """Freeze everything recorded into a :class:`TelemetryProfile`."""
+        return TelemetryProfile(
+            workload=workload,
+            policy=policy,
+            interval_instructions=self.config.interval_instructions,
+            intervals=list(self._samples),
+            miss_classes=self._classifier.counts() if self._classifier else {},
+            llc_evictions_per_set=(
+                list(self._tap.evictions_per_set) if self.config.per_set else []
+            ),
+            policy_snapshots=list(self._snapshots),
+            config=self.config.to_json_dict(),
+        )

@@ -1,0 +1,284 @@
+"""The versioned telemetry profile: what one instrumented run recorded.
+
+A :class:`TelemetryProfile` is the plain-data output of a run with
+telemetry armed (:mod:`repro.telemetry.collector`): a per-interval time
+series of the machine's counters, the LLC's per-set eviction pressure
+and occupancy histograms, an online 3C miss classification, and the
+policy-state snapshots taken at each interval boundary.
+
+Every interval stores *integer deltas* of the underlying counters (plus
+the cumulative instruction/cycle stamps at the interval's end), so the
+series sums back to the run's aggregate counters **bit-exactly** —
+:meth:`TelemetryProfile.validate_totals` checks exactly that against a
+:class:`~repro.core.results.SimulationResult`. Profiles serialize to a
+schema-versioned JSON document that rides inside ``result.info`` and
+therefore flows unchanged through the result round-trip and the sweep
+engine's on-disk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import SimulationError
+
+#: Version of the JSON document produced by
+#: :meth:`TelemetryProfile.to_json_dict`. Bump on any incompatible field
+#: change; :meth:`TelemetryProfile.from_json_dict` refuses mismatches.
+PROFILE_SCHEMA_VERSION = 1
+
+#: The 3C miss classes, in reporting order.
+MISS_CLASSES = ("compulsory", "capacity", "conflict")
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """Counter deltas over one measurement interval.
+
+    ``end_instructions``/``end_cycles`` are cumulative stamps (measured
+    window origin); everything else is the exact integer delta of the
+    corresponding aggregate counter over the interval, so summing a
+    field across all samples reproduces the run total bit-exactly.
+    """
+
+    end_instructions: int
+    end_cycles: float
+    instructions: int
+    cycles: float
+    #: Per-level ``{"demand_accesses": d, "demand_hits": d}`` deltas.
+    levels: dict[str, dict[str, int]]
+    dram_reads: int
+    dram_writes: int
+    #: LLC occupancy histogram at the interval's end: entry ``k`` counts
+    #: sets holding exactly ``k`` valid lines (None when per-set
+    #: telemetry is disabled).
+    llc_occupancy: list[int] | None = None
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over this interval."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def demand_misses(self, level: str) -> int:
+        """Demand misses at ``level`` during this interval."""
+        counters = self.levels[level]
+        return counters["demand_accesses"] - counters["demand_hits"]
+
+    def mpki(self, level: str) -> float:
+        """Demand MPKI at ``level`` over this interval."""
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.demand_misses(level) / self.instructions
+
+    def hit_rate(self, level: str) -> float:
+        """Demand hit rate at ``level`` over this interval."""
+        counters = self.levels[level]
+        if counters["demand_accesses"] == 0:
+            return 0.0
+        return counters["demand_hits"] / counters["demand_accesses"]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "end_instructions": self.end_instructions,
+            "end_cycles": self.end_cycles,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "levels": {name: dict(c) for name, c in self.levels.items()},
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+        }
+        if self.llc_occupancy is not None:
+            doc["llc_occupancy"] = list(self.llc_occupancy)
+        return doc
+
+    @classmethod
+    def from_json_dict(cls, doc: dict[str, Any]) -> "IntervalSample":
+        return cls(
+            end_instructions=doc["end_instructions"],
+            end_cycles=doc["end_cycles"],
+            instructions=doc["instructions"],
+            cycles=doc["cycles"],
+            levels={name: dict(c) for name, c in doc["levels"].items()},
+            dram_reads=doc["dram_reads"],
+            dram_writes=doc["dram_writes"],
+            llc_occupancy=doc.get("llc_occupancy"),
+        )
+
+
+@dataclass(frozen=True)
+class PolicySnapshot:
+    """One :meth:`~repro.policies.base.ReplacementPolicy.snapshot_state`
+    capture, stamped with the instruction count it was taken at."""
+
+    end_instructions: int
+    state: dict[str, Any]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"end_instructions": self.end_instructions, "state": dict(self.state)}
+
+    @classmethod
+    def from_json_dict(cls, doc: dict[str, Any]) -> "PolicySnapshot":
+        return cls(end_instructions=doc["end_instructions"], state=dict(doc["state"]))
+
+
+@dataclass(frozen=True)
+class TelemetryProfile:
+    """Everything one telemetry-armed run observed (measured window only)."""
+
+    workload: str
+    policy: str
+    interval_instructions: int
+    intervals: list[IntervalSample]
+    #: Online 3C classification of LLC demand misses (empty when miss
+    #: classification is disabled).
+    miss_classes: dict[str, int] = field(default_factory=dict)
+    #: Cumulative evictions per LLC set over the measured window (empty
+    #: when per-set telemetry is disabled).
+    llc_evictions_per_set: list[int] = field(default_factory=list)
+    #: Policy snapshots taken at interval boundaries (empty when policy
+    #: snapshots are disabled).
+    policy_snapshots: list[PolicySnapshot] = field(default_factory=list)
+    #: The telemetry configuration that produced this profile.
+    config: dict[str, Any] = field(default_factory=dict)
+
+    # -- series accessors -----------------------------------------------------
+
+    @property
+    def instructions(self) -> int:
+        """Total measured instructions (sum of interval deltas)."""
+        return sum(s.instructions for s in self.intervals)
+
+    def total(self, level: str, counter: str) -> int:
+        """Sum one per-level counter across all intervals."""
+        return sum(s.levels[level][counter] for s in self.intervals)
+
+    def total_demand_misses(self, level: str) -> int:
+        """Total demand misses at ``level`` (sum of interval deltas)."""
+        return sum(s.demand_misses(level) for s in self.intervals)
+
+    def ipc_series(self) -> list[float]:
+        """Per-interval IPC."""
+        return [s.ipc for s in self.intervals]
+
+    def mpki_series(self, level: str) -> list[float]:
+        """Per-interval demand MPKI at one level."""
+        return [s.mpki(level) for s in self.intervals]
+
+    @property
+    def eviction_skew(self) -> float:
+        """Max-over-mean eviction pressure across LLC sets (1.0 = even)."""
+        if not self.llc_evictions_per_set:
+            return 0.0
+        mean = sum(self.llc_evictions_per_set) / len(self.llc_evictions_per_set)
+        return max(self.llc_evictions_per_set) / mean if mean else 0.0
+
+    def hottest_sets(self, n: int = 5) -> list[tuple[int, int]]:
+        """The ``n`` LLC sets with the most evictions: (set, count)."""
+        ranked = sorted(
+            enumerate(self.llc_evictions_per_set), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:n]
+
+    # -- validation -----------------------------------------------------------
+
+    def validate_totals(self, result: Any) -> list[str]:
+        """Check bit-exact consistency against a finished result.
+
+        Every interval series must sum back to the corresponding
+        aggregate counter of the :class:`SimulationResult` the profile
+        was recorded alongside. Returns a list of human-readable
+        mismatch descriptions (empty = consistent).
+        """
+        problems: list[str] = []
+
+        def expect(label: str, got: int, want: int) -> None:
+            if got != want:
+                problems.append(f"{label}: interval sum {got} != aggregate {want}")
+
+        expect("instructions", self.instructions, result.instructions)
+        for name, stats in result.levels.items():
+            if not self.intervals or name not in self.intervals[0].levels:
+                continue
+            expect(
+                f"{name}.demand_accesses",
+                self.total(name, "demand_accesses"),
+                stats.demand_accesses,
+            )
+            expect(
+                f"{name}.demand_hits", self.total(name, "demand_hits"), stats.demand_hits
+            )
+            expect(
+                f"{name}.demand_misses",
+                self.total_demand_misses(name),
+                stats.demand_misses,
+            )
+        expect("dram_reads", sum(s.dram_reads for s in self.intervals), result.dram_reads)
+        expect(
+            "dram_writes", sum(s.dram_writes for s in self.intervals), result.dram_writes
+        )
+        if self.llc_evictions_per_set:
+            expect(
+                "LLC.evictions",
+                sum(self.llc_evictions_per_set),
+                result.levels["LLC"].evictions,
+            )
+        if self.miss_classes:
+            expect(
+                "LLC 3C classes",
+                sum(self.miss_classes.get(c, 0) for c in MISS_CLASSES),
+                result.levels["LLC"].demand_misses,
+            )
+        return problems
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """This profile as a schema-versioned JSON-serializable dict."""
+        return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "workload": self.workload,
+            "policy": self.policy,
+            "interval_instructions": self.interval_instructions,
+            "intervals": [s.to_json_dict() for s in self.intervals],
+            "miss_classes": dict(self.miss_classes),
+            "llc_evictions_per_set": list(self.llc_evictions_per_set),
+            "policy_snapshots": [s.to_json_dict() for s in self.policy_snapshots],
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: dict[str, Any]) -> "TelemetryProfile":
+        """Rebuild a profile from :meth:`to_json_dict` output."""
+        version = doc.get("schema_version")
+        if version != PROFILE_SCHEMA_VERSION:
+            raise SimulationError(
+                f"telemetry profile has schema_version={version!r}, "
+                f"this build reads {PROFILE_SCHEMA_VERSION}"
+            )
+        return cls(
+            workload=doc["workload"],
+            policy=doc["policy"],
+            interval_instructions=doc["interval_instructions"],
+            intervals=[IntervalSample.from_json_dict(s) for s in doc["intervals"]],
+            miss_classes=dict(doc.get("miss_classes", {})),
+            llc_evictions_per_set=list(doc.get("llc_evictions_per_set", [])),
+            policy_snapshots=[
+                PolicySnapshot.from_json_dict(s) for s in doc.get("policy_snapshots", [])
+            ],
+            config=dict(doc.get("config", {})),
+        )
+
+    @classmethod
+    def from_result(cls, result: Any) -> "TelemetryProfile":
+        """Extract the profile embedded in ``result.info['telemetry']``.
+
+        Raises :class:`SimulationError` when the run was not telemetry-
+        armed (the key is absent).
+        """
+        doc = result.info.get("telemetry")
+        if doc is None:
+            raise SimulationError(
+                "result carries no telemetry profile; pass telemetry=... to simulate()"
+            )
+        return cls.from_json_dict(doc)

@@ -1,0 +1,176 @@
+"""Edge-case tests for benchmarks/check_regression.py (the CI gate).
+
+The gate is a script, not a package module, so it is loaded via
+importlib straight from the benchmarks/ directory.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+SCALE = {"gap_window": 50_000, "gap_scale": 14, "spec_window": 50_000}
+
+
+def write_results(results_dir: Path, speedup: float = 1.10, mpki: float = 4.0) -> None:
+    """Write minimal fig2/fig3 artifacts in the emit-fixture shape."""
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "fig3_speedup.json").write_text(json.dumps({
+        "headers": ["workload", "ship"],
+        "rows": [["GEOMEAN", speedup]],
+        "notes": dict(SCALE),
+    }), encoding="utf-8")
+    (results_dir / "fig2_mpki.json").write_text(json.dumps({
+        "headers": ["workload", "lru"],
+        "rows": [["MEAN", mpki]],
+        "notes": {k: SCALE[k] for k in ("gap_window", "gap_scale")},
+    }), encoding="utf-8")
+
+
+def write_baseline(
+    path: Path,
+    speedup: float = 1.10,
+    mpki: float = 4.0,
+    tol_abs: float = 0.02,
+    tol_rel: float = 0.10,
+) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "scale": dict(SCALE),
+        "metrics": {
+            "fig3_speedup": {
+                "tolerance_abs": tol_abs,
+                "values": {"GEOMEAN": {"ship": speedup}},
+            },
+            "fig2_mpki": {
+                "tolerance_rel": tol_rel,
+                "values": {"MEAN": {"lru": mpki}},
+            },
+        },
+    }), encoding="utf-8")
+
+
+@pytest.fixture
+def gate_dirs(tmp_path):
+    results = tmp_path / "results"
+    expected = tmp_path / "expected" / "smoke.json"
+    write_results(results)
+    write_baseline(expected)
+    return results, expected
+
+
+def run_gate(results: Path, expected: Path, *extra: str) -> int:
+    return check_regression.main(
+        ["--results", str(results), "--expected", str(expected), *extra]
+    )
+
+
+class TestExitCodes:
+    def test_within_tolerance_exits_zero(self, gate_dirs):
+        results, expected = gate_dirs
+        assert run_gate(results, expected) == 0
+
+    def test_missing_baseline_exits_two(self, gate_dirs, capsys):
+        results, expected = gate_dirs
+        expected.unlink()
+        assert run_gate(results, expected) == 2
+        assert "missing baseline" in capsys.readouterr().err
+
+    def test_missing_results_artifact_exits_two(self, gate_dirs, capsys):
+        results, expected = gate_dirs
+        (results / "fig3_speedup.json").unlink()
+        assert run_gate(results, expected) == 2
+        assert "missing results artifact" in capsys.readouterr().err
+
+    def test_regression_exits_one(self, gate_dirs, capsys):
+        results, expected = gate_dirs
+        write_results(results, speedup=1.20)  # drift 0.10 > abs limit 0.02
+        assert run_gate(results, expected) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestTolerances:
+    def test_exactly_at_abs_threshold_passes(self, gate_dirs):
+        """drift == limit is within tolerance, not a regression.
+
+        Values are binary-exact (1.25 - 1.0 == 0.25) so the comparison
+        really is at-threshold, not a float hair over it.
+        """
+        results, expected = gate_dirs
+        write_baseline(expected, speedup=1.0, tol_abs=0.25)
+        write_results(results, speedup=1.25)
+        assert run_gate(results, expected) == 0
+
+    def test_just_over_abs_threshold_fails(self, gate_dirs):
+        results, expected = gate_dirs
+        write_baseline(expected, speedup=1.0, tol_abs=0.25)
+        write_results(results, speedup=1.2501)
+        assert run_gate(results, expected) == 1
+
+    def test_exactly_at_rel_threshold_passes(self, gate_dirs):
+        results, expected = gate_dirs
+        write_baseline(expected, mpki=4.0, tol_rel=0.25)  # limit = 1.0 exactly
+        write_results(results, mpki=5.0)
+        assert run_gate(results, expected) == 0
+
+    def test_missing_cell_fails(self, gate_dirs, capsys):
+        results, expected = gate_dirs
+        write_baseline(expected)
+        doc = json.loads(expected.read_text(encoding="utf-8"))
+        doc["metrics"]["fig3_speedup"]["values"]["GEOMEAN"]["hawkeye"] = 1.0
+        expected.write_text(json.dumps(doc), encoding="utf-8")
+        assert run_gate(results, expected) == 1
+        assert "missing cell" in capsys.readouterr().err
+
+
+class TestScaleGuard:
+    def test_scale_mismatch_refused(self, gate_dirs, capsys):
+        """Full-scale results never gate against a smoke baseline."""
+        results, expected = gate_dirs
+        doc = json.loads((results / "fig3_speedup.json").read_text(encoding="utf-8"))
+        doc["notes"]["gap_window"] = 2_000_000
+        (results / "fig3_speedup.json").write_text(json.dumps(doc), encoding="utf-8")
+        assert run_gate(results, expected) == 1
+        assert "REPRO_SMOKE" in capsys.readouterr().err
+
+
+class TestMarkdownSummary:
+    def test_appends_table(self, gate_dirs, tmp_path):
+        results, expected = gate_dirs
+        summary = tmp_path / "summary.md"
+        summary.write_text("# prior content\n", encoding="utf-8")
+        assert run_gate(results, expected, "--markdown", str(summary)) == 0
+        text = summary.read_text(encoding="utf-8")
+        assert text.startswith("# prior content")  # appended, not clobbered
+        assert "## Benchmark regression gate" in text
+        assert "| fig3_speedup | GEOMEAN | ship " in text
+        assert "✅" in text
+
+    def test_failure_verdict_and_other_failures(self, gate_dirs, tmp_path):
+        results, expected = gate_dirs
+        write_results(results, speedup=1.50)
+        doc = json.loads((results / "fig2_mpki.json").read_text(encoding="utf-8"))
+        doc["notes"]["gap_scale"] = 99
+        (results / "fig2_mpki.json").write_text(json.dumps(doc), encoding="utf-8")
+        summary = tmp_path / "summary.md"
+        assert run_gate(results, expected, "--markdown", str(summary)) == 1
+        text = summary.read_text(encoding="utf-8")
+        assert "❌" in text
+        assert "Other failures:" in text
+        assert "gap_scale" in text
+
+
+class TestUpdate:
+    def test_update_rewrites_baseline_that_then_passes(self, gate_dirs):
+        results, expected = gate_dirs
+        write_results(results, speedup=1.33, mpki=7.5)
+        assert run_gate(results, expected, "--update") == 0
+        doc = json.loads(expected.read_text(encoding="utf-8"))
+        assert doc["metrics"]["fig3_speedup"]["values"]["GEOMEAN"]["ship"] == 1.33
+        assert run_gate(results, expected) == 0

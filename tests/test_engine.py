@@ -1,6 +1,7 @@
 """Tests for the sweep engine: caching, parallelism, isolation, resume."""
 
 import json
+import warnings
 
 import pytest
 
@@ -251,6 +252,86 @@ class TestCheckpointResume:
             progress=lambda w, p: calls.append((w, p)),
         )
         assert calls == [("zipf", "lru"), ("stream", "lru")]
+
+
+class TestReadOnlyCacheDegradation:
+    """An unusable cache location degrades to uncached, never raises.
+
+    chmod tricks don't work under root, so the unwritable root is
+    simulated by shadowing it with a regular file (NotADirectoryError,
+    an OSError) and by monkeypatching shutil.rmtree for clear/prune.
+    """
+
+    @pytest.fixture
+    def shadowed_root(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory", encoding="utf-8")
+        return blocker / "cache"
+
+    def test_store_warns_once_and_returns_none(self, shadowed_root, traces):
+        result = simulate(traces["zipf"], config=tiny_config())
+        cache = ResultCache(shadowed_root)
+        with pytest.warns(RuntimeWarning, match="continuing without caching"):
+            assert cache.store("ab" * 32, result) is None
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert cache.store("cd" * 32, result) is None
+        assert not record, "the degradation warning fires only once"
+
+    def test_load_on_unreadable_root_is_a_miss(self, shadowed_root):
+        cache = ResultCache(shadowed_root)
+        with pytest.warns(RuntimeWarning):
+            assert cache.load("ab" * 32) is None
+
+    def test_sweep_completes_uncached(self, shadowed_root, traces):
+        engine = SweepEngine(cache_dir=shadowed_root, jobs=1)
+        with pytest.warns(RuntimeWarning):
+            outcome = engine.run(traces, ["lru"], config=tiny_config())
+        assert outcome.stats.simulated == 2
+        assert outcome.stats.errors == 0
+        # Re-running re-simulates: nothing was (or could be) cached (and
+        # the engine's cache stays disabled, so it does not warn again).
+        again = engine.run(traces, ["lru"], config=tiny_config())
+        assert again.stats.hits == 0 and again.stats.simulated == 2
+        assert again.matrix.results == outcome.matrix.results
+
+    def test_clear_on_readonly_dir_warns_not_raises(
+        self, tmp_path, traces, monkeypatch
+    ):
+        SweepEngine(cache_dir=tmp_path, jobs=1).run(
+            traces, ["lru"], config=tiny_config()
+        )
+
+        def deny(path, *args, **kwargs):
+            raise PermissionError(13, "read-only file system", str(path))
+
+        monkeypatch.setattr("shutil.rmtree", deny)
+        cache = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            assert cache.clear() == 0
+        assert cache.stats().entries == 2, "entries survive the failed clear"
+
+    def test_prune_on_readonly_dir_warns_not_raises(
+        self, tmp_path, traces, monkeypatch
+    ):
+        SweepEngine(cache_dir=tmp_path, jobs=1, salt="old").run(
+            traces, ["lru"], config=tiny_config()
+        )
+
+        def deny(path, *args, **kwargs):
+            raise PermissionError(13, "read-only file system", str(path))
+
+        monkeypatch.setattr("shutil.rmtree", deny)
+        cache = ResultCache(tmp_path, salt="new")
+        with pytest.warns(RuntimeWarning):
+            assert cache.prune() == 0
+        assert cache.stats().stale_entries == 2
+
+    def test_cli_cache_prune_readonly_exits_zero(self, shadowed_root, capsys):
+        from repro.__main__ import main
+
+        assert main(["cache", "prune", "--cache-dir", str(shadowed_root)]) == 0
+        assert "pruned 0 stale entries" in capsys.readouterr().out
 
 
 class TestRunMatrixIntegration:

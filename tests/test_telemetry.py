@@ -1,0 +1,360 @@
+"""Tests for repro.telemetry: zero-overhead-off, bit-exact-on observability."""
+
+import json
+
+import pytest
+
+from repro.core.config import CacheConfig, MachineConfig
+from repro.core.simulator import simulate
+from repro.errors import ConfigurationError, SimulationError
+from repro.harness.engine import SweepEngine, cell_key
+from repro.harness.report import render_profile
+from repro.telemetry import (
+    MISS_CLASSES,
+    PROFILE_SCHEMA_VERSION,
+    MissClassifier,
+    TelemetryConfig,
+    TelemetryProfile,
+)
+from repro.trace import synthetic
+
+
+def tiny_config() -> MachineConfig:
+    return MachineConfig(
+        l1i=CacheConfig("L1I", 1024, 2, hit_latency=1),
+        l1d=CacheConfig("L1D", 1024, 2, hit_latency=1),
+        l2=CacheConfig("L2C", 4096, 4, hit_latency=4),
+        llc=CacheConfig("LLC", 8192, 4, hit_latency=8),
+    )
+
+
+@pytest.fixture(scope="module")
+def zipf():
+    return synthetic.zipf_reuse(6000, num_blocks=600, seed=7)
+
+
+@pytest.fixture(scope="module")
+def bfs_trace():
+    """A real GAP BFS smoke trace (the acceptance workload)."""
+    from repro.gap.suite import gap_suite
+
+    suite = gap_suite(scale=10, degree=8, max_accesses=6000)
+    name = next(n for n in suite if "bfs" in n)
+    return suite[name]
+
+
+ARMED = TelemetryConfig(interval_instructions=1000)
+
+
+class TestConfig:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="interval_instructions"):
+            TelemetryConfig(interval_instructions=0)
+        with pytest.raises(ConfigurationError):
+            TelemetryConfig(interval_instructions=-5)
+
+    def test_json_dict_is_canonical(self):
+        doc = TelemetryConfig().to_json_dict()
+        assert doc == {
+            "interval_instructions": 10_000,
+            "per_set": True,
+            "classify_misses": True,
+            "policy_snapshots": True,
+        }
+
+
+class TestMissClassifier:
+    def test_three_c_split(self):
+        clf = MissClassifier(capacity_blocks=2)
+        clf.observe(1, sa_hit=False)  # first touch -> compulsory
+        clf.observe(2, sa_hit=False)  # compulsory
+        clf.observe(3, sa_hit=False)  # compulsory; FA-LRU evicts 1
+        clf.observe(1, sa_hit=False)  # seen, FA miss -> capacity
+        clf.observe(3, sa_hit=False)  # seen, FA hit -> conflict
+        clf.observe(3, sa_hit=True)  # SA hit -> not a miss at all
+        counts = clf.counts()
+        assert counts["compulsory"] == 3
+        assert counts["capacity"] == 1
+        assert counts["conflict"] == 1
+        assert counts["demand_accesses"] == 6
+        assert counts["demand_hits"] == 1
+
+    def test_classes_sum_to_misses(self):
+        clf = MissClassifier(capacity_blocks=4)
+        for block in [5, 6, 5, 7, 8, 9, 5, 6, 10, 5]:
+            clf.observe(block, sa_hit=False)
+        counts = clf.counts()
+        assert sum(counts[c] for c in MISS_CLASSES) == counts["demand_accesses"]
+
+
+class TestDisabledPathIsUntouched:
+    def test_no_info_key_when_off(self, zipf):
+        result = simulate(zipf, config=tiny_config(), llc_policy="lru")
+        assert "telemetry" not in result.info
+
+    @pytest.mark.parametrize("policy", ["lru", "srrip", "ship", "hawkeye"])
+    def test_armed_run_is_bit_identical(self, zipf, policy):
+        """Telemetry is pure observation: every counter matches the plain run."""
+        plain = simulate(zipf, config=tiny_config(), llc_policy=policy)
+        armed = simulate(
+            zipf, config=tiny_config(), llc_policy=policy, telemetry=ARMED
+        )
+        assert armed.instructions == plain.instructions
+        assert armed.cycles == plain.cycles
+        assert armed.dram_reads == plain.dram_reads
+        assert armed.dram_writes == plain.dram_writes
+        assert armed.levels == plain.levels
+
+
+class TestBitExactTotals:
+    def test_gap_bfs_profile_sums_to_aggregates(self, bfs_trace):
+        """The acceptance criterion: interval series telescope bit-exactly."""
+        result = simulate(
+            bfs_trace, config=tiny_config(), llc_policy="ship", telemetry=ARMED
+        )
+        profile = TelemetryProfile.from_result(result)
+        assert profile.validate_totals(result) == []
+        assert profile.instructions == result.instructions
+        assert profile.total_demand_misses("LLC") == result.levels["LLC"].demand_misses
+
+    def test_validate_totals_reports_mismatch(self, zipf):
+        result = simulate(
+            zipf, config=tiny_config(), llc_policy="lru", telemetry=ARMED
+        )
+        profile = TelemetryProfile.from_result(result)
+        doc = profile.to_json_dict()
+        doc["intervals"][0]["instructions"] += 1
+        broken = TelemetryProfile.from_json_dict(doc)
+        problems = broken.validate_totals(result)
+        assert any("instructions" in p for p in problems)
+
+    def test_interval_stamps_are_monotonic(self, zipf):
+        result = simulate(
+            zipf, config=tiny_config(), llc_policy="lru", telemetry=ARMED
+        )
+        profile = TelemetryProfile.from_result(result)
+        assert len(profile.intervals) >= 2
+        stamps = [s.end_instructions for s in profile.intervals]
+        assert stamps == sorted(stamps)
+        assert len(stamps) == len(set(stamps)), "no empty duplicate intervals"
+        for sample in profile.intervals:
+            assert sample.instructions > 0
+
+    def test_uninstrumented_result_refused(self, zipf):
+        result = simulate(zipf, config=tiny_config(), llc_policy="lru")
+        with pytest.raises(SimulationError, match="no telemetry"):
+            TelemetryProfile.from_result(result)
+
+
+class TestProfileRoundTrip:
+    def test_json_round_trip_is_identity(self, zipf):
+        result = simulate(
+            zipf, config=tiny_config(), llc_policy="srrip", telemetry=ARMED
+        )
+        profile = TelemetryProfile.from_result(result)
+        doc = json.loads(json.dumps(profile.to_json_dict()))
+        assert TelemetryProfile.from_json_dict(doc) == profile
+
+    def test_schema_version_recorded_and_checked(self, zipf):
+        result = simulate(
+            zipf, config=tiny_config(), llc_policy="lru", telemetry=ARMED
+        )
+        doc = TelemetryProfile.from_result(result).to_json_dict()
+        assert doc["schema_version"] == PROFILE_SCHEMA_VERSION
+        doc["schema_version"] = PROFILE_SCHEMA_VERSION + 1
+        with pytest.raises(SimulationError, match="schema_version"):
+            TelemetryProfile.from_json_dict(doc)
+
+    def test_profile_rides_result_round_trip(self, zipf):
+        from repro.core.results import SimulationResult
+
+        result = simulate(
+            zipf, config=tiny_config(), llc_policy="lru", telemetry=ARMED
+        )
+        revived = SimulationResult.from_json_dict(
+            json.loads(json.dumps(result.to_json_dict()))
+        )
+        assert TelemetryProfile.from_result(revived) == TelemetryProfile.from_result(
+            result
+        )
+
+
+class TestConfigToggles:
+    def test_per_set_off(self, zipf):
+        config = TelemetryConfig(interval_instructions=1000, per_set=False)
+        result = simulate(
+            zipf, config=tiny_config(), llc_policy="lru", telemetry=config
+        )
+        profile = TelemetryProfile.from_result(result)
+        assert profile.llc_evictions_per_set == []
+        assert all(s.llc_occupancy is None for s in profile.intervals)
+        assert profile.eviction_skew == 0.0
+        assert profile.validate_totals(result) == []
+
+    def test_classify_off(self, zipf):
+        config = TelemetryConfig(interval_instructions=1000, classify_misses=False)
+        result = simulate(
+            zipf, config=tiny_config(), llc_policy="lru", telemetry=config
+        )
+        profile = TelemetryProfile.from_result(result)
+        assert profile.miss_classes == {}
+
+    def test_snapshots_off(self, zipf):
+        config = TelemetryConfig(interval_instructions=1000, policy_snapshots=False)
+        result = simulate(
+            zipf, config=tiny_config(), llc_policy="ship", telemetry=config
+        )
+        assert TelemetryProfile.from_result(result).policy_snapshots == []
+
+    def test_occupancy_histogram_shape(self, zipf):
+        machine = tiny_config()
+        result = simulate(zipf, config=machine, llc_policy="lru", telemetry=ARMED)
+        profile = TelemetryProfile.from_result(result)
+        line = 1 << machine.llc.block_bits
+        num_sets = machine.llc.size_bytes // (machine.llc.num_ways * line)
+        for sample in profile.intervals:
+            assert len(sample.llc_occupancy) == machine.llc.num_ways + 1
+            assert sum(sample.llc_occupancy) == num_sets
+
+
+class TestPolicySnapshots:
+    def _final_state(self, zipf, policy):
+        result = simulate(
+            zipf, config=tiny_config(), llc_policy=policy, telemetry=ARMED
+        )
+        profile = TelemetryProfile.from_result(result)
+        assert profile.policy_snapshots, "boundaries should produce snapshots"
+        return profile.policy_snapshots[-1].state
+
+    def test_srrip_rrpv_histogram(self, zipf):
+        from repro.policies.rrip import RRPV_MAX
+
+        state = self._final_state(zipf, "srrip")
+        hist = state["rrpv_histogram"]
+        assert len(hist) == RRPV_MAX + 1
+        assert sum(hist) > 0
+
+    def test_ship_shct(self, zipf):
+        state = self._final_state(zipf, "ship")
+        assert "shct_histogram" in state
+        assert 0.0 <= state["shct_dead_fraction"] <= 1.0
+
+    def test_hawkeye_predictor(self, zipf):
+        state = self._final_state(zipf, "hawkeye")
+        assert "predictor_histogram" in state
+        assert 0.0 <= state["predictor_friendly_fraction"] <= 1.0
+        assert 0.0 <= state["optgen_hit_rate"] <= 1.0
+
+    def test_drrip_duel(self, zipf):
+        state = self._final_state(zipf, "drrip")
+        assert state["winning_component"] in ("srrip", "brrip")
+        assert 0 <= state["psel"] <= state["psel_max"]
+
+    def test_default_snapshot_is_empty_dict(self):
+        from repro.policies.registry import make_policy
+
+        policy = make_policy("random")
+        assert policy.snapshot_state() == {}
+
+
+class TestEngineIntegration:
+    def test_parallel_equals_serial_with_telemetry(self, zipf):
+        """The acceptance criterion: jobs=2 bit-identical to jobs=1, armed."""
+        traces = {"zipf": zipf}
+        policies = ["lru", "ship"]
+        serial = SweepEngine(jobs=1).run(
+            traces, policies, config=tiny_config(), telemetry=ARMED
+        )
+        parallel = SweepEngine(jobs=2).run(
+            traces, policies, config=tiny_config(), telemetry=ARMED
+        )
+        assert parallel.matrix.results == serial.matrix.results
+        for policy in policies:
+            a = TelemetryProfile.from_result(serial.matrix.get("zipf", policy))
+            b = TelemetryProfile.from_result(parallel.matrix.get("zipf", policy))
+            assert a == b
+
+    def test_cache_round_trip_preserves_profile(self, tmp_path, zipf):
+        traces = {"zipf": zipf}
+        engine = SweepEngine(cache_dir=tmp_path, jobs=1)
+        first = engine.run(traces, ["lru"], config=tiny_config(), telemetry=ARMED)
+        second = engine.run(traces, ["lru"], config=tiny_config(), telemetry=ARMED)
+        assert second.stats.hits == 1 and second.stats.simulated == 0
+        assert TelemetryProfile.from_result(
+            second.matrix.get("zipf", "lru")
+        ) == TelemetryProfile.from_result(first.matrix.get("zipf", "lru"))
+
+    def test_armed_and_plain_never_share_cache_cells(self, tmp_path, zipf):
+        traces = {"zipf": zipf}
+        engine = SweepEngine(cache_dir=tmp_path, jobs=1)
+        engine.run(traces, ["lru"], config=tiny_config(), telemetry=ARMED)
+        plain = engine.run(traces, ["lru"], config=tiny_config())
+        assert plain.stats.hits == 0 and plain.stats.simulated == 1
+        assert "telemetry" not in plain.matrix.get("zipf", "lru").info
+
+    def test_cell_key_depends_on_telemetry_config(self, zipf):
+        config = tiny_config()
+        base = cell_key(zipf, "lru", config, 0.2, salt="s")
+        armed = cell_key(zipf, "lru", config, 0.2, salt="s", telemetry=ARMED)
+        other = cell_key(
+            zipf, "lru", config, 0.2, salt="s",
+            telemetry=TelemetryConfig(interval_instructions=2000),
+        )
+        assert len({base, armed, other}) == 3
+
+
+class TestRenderProfile:
+    @pytest.fixture(scope="class")
+    def profile(self, zipf):
+        result = simulate(
+            zipf, config=tiny_config(), llc_policy="ship", telemetry=ARMED
+        )
+        return TelemetryProfile.from_result(result)
+
+    def test_text_render(self, profile):
+        text = render_profile(profile)
+        assert profile.workload in text
+        assert "ship" in text
+        assert "MPKI" in text
+        assert "compulsory" in text
+
+    def test_markdown_render(self, profile):
+        text = render_profile(profile, markdown=True)
+        assert text.startswith("### Telemetry:")
+        assert "| " in text  # pipe table
+
+    def test_downsampling_bounds_table(self, profile):
+        text = render_profile(profile, max_intervals=3)
+        # Only the downsampled interval rows appear, never the full series.
+        data_rows = [
+            line for line in text.splitlines() if line.strip().startswith("1")
+        ]
+        assert len(data_rows) <= len(profile.intervals)
+
+
+class TestProfileCli:
+    def test_profile_command_writes_json_and_renders(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "profile.json"
+        code = main([
+            "profile", "gap.bfs.10", "ship",
+            "--window", "20000", "--interval", "4000",
+            "--json", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        profile = TelemetryProfile.from_json_dict(doc)
+        assert profile.policy == "ship"
+        captured = capsys.readouterr()
+        assert "MPKI" in captured.out
+
+    def test_profile_command_markdown(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "profile", "gap.bfs.10", "lru",
+            "--window", "20000", "--interval", "4000", "--markdown",
+        ])
+        assert code == 0
+        assert "### Telemetry:" in capsys.readouterr().out

@@ -10,7 +10,9 @@ The subcommands cover the common workflows without writing a script:
 * ``cache`` — inspect/clear/prune the sweep engine's result cache;
 * ``experiment`` — regenerate one of the paper's tables/figures;
 * ``lint`` — run the policy-contract static analyzer (and, with
-  ``--sanitize-selftest``, the runtime invariant sanitizer).
+  ``--sanitize-selftest``, the runtime invariant sanitizer);
+* ``verify-fastpath`` — prove the fast and reference execution engines
+  bit-identical across policies x traces (telemetry off and on).
 """
 
 from __future__ import annotations
@@ -258,6 +260,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return rc
 
 
+def cmd_verify_fastpath(args: argparse.Namespace) -> int:
+    """Differential equivalence: fast engine vs reference engine."""
+    from .harness.equivalence import default_verification_traces, verify_fastpath
+
+    report = verify_fastpath(
+        policies=args.policies or None,
+        traces=default_verification_traces(num_accesses=args.accesses),
+        warmup_fractions=tuple(args.warmup),
+        include_telemetry=not args.no_telemetry,
+        progress=args.verbose,
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Regenerate one paper table/figure (optionally with a chart)."""
     report = EXPERIMENTS[args.name]()
@@ -338,6 +355,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="also run the paper policies over synthetic "
                              "traces with the runtime sanitizer armed")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_vf = sub.add_parser(
+        "verify-fastpath",
+        help="prove engine='fast' bit-identical to engine='reference'")
+    p_vf.add_argument("--policies", nargs="*", choices=available_policies(),
+                      help="subset of policies (default: all registered)")
+    p_vf.add_argument("--accesses", type=int, default=12_000,
+                      help="records per verification trace (default 12k)")
+    p_vf.add_argument("--warmup", type=float, nargs="*", default=[0.2],
+                      help="warm-up fractions to cross (default: 0.2)")
+    p_vf.add_argument("--no-telemetry", action="store_true",
+                      help="skip the telemetry-armed half of the matrix")
+    p_vf.add_argument("--verbose", action="store_true",
+                      help="print each case as it completes")
+    p_vf.set_defaults(func=cmd_verify_fastpath)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", choices=sorted(EXPERIMENTS))

@@ -16,6 +16,7 @@ from __future__ import annotations
 from ..errors import ConfigurationError
 from ..mem.cache import Cache, CacheStats
 from ..mem.dram import DRAM, DRAMStats
+from ..mem.fastpath import FastMachine, fastpath_eligible
 from ..mem.hierarchy import CacheHierarchy, HierarchyStats
 from ..mem.prefetcher import Prefetcher
 from ..policies.base import ReplacementPolicy
@@ -67,10 +68,18 @@ def build_hierarchy(
     )
 
 
-def _reset_statistics(hierarchy: CacheHierarchy) -> None:
-    """Discard warm-up statistics, keeping all cache/policy state."""
+def _reset_statistics(hierarchy: CacheHierarchy, boundary_cycle: int) -> None:
+    """Discard warm-up statistics, keeping all cache/policy state.
+
+    ``boundary_cycle`` is the warm-up core's final cycle. The measured
+    core restarts at cycle 0, so the DRAM bank clocks are rebased to the
+    same origin — otherwise the banks' ``next_free`` timestamps (still
+    expressed on the warm-up clock) would charge the first measured DRAM
+    reads the entire warm-up duration as spurious queue wait.
+    """
     for cache in hierarchy.caches.values():
         cache.stats = CacheStats()
+    hierarchy.dram.rebase(boundary_cycle)
     hierarchy.dram.stats = DRAMStats()
     hierarchy.stats = HierarchyStats()
 
@@ -129,6 +138,7 @@ def simulate(
     hierarchy: CacheHierarchy | None = None,
     sanitize: bool = False,
     telemetry: TelemetryConfig | None = None,
+    engine: str = "fast",
 ) -> SimulationResult:
     """Simulate ``trace`` on a machine and return measured statistics.
 
@@ -160,10 +170,22 @@ def simulate(
         :class:`~repro.telemetry.profile.TelemetryProfile` lands in
         ``result.info["telemetry"]`` as a versioned JSON document; with
         the default ``None``, no telemetry code runs at all.
+    engine:
+        ``"fast"`` (default) routes eligible runs through the optimized
+        execution path (:mod:`repro.mem.fastpath`), falling back to the
+        reference hot loop for configurations it does not model;
+        ``"reference"`` always runs the original four-call chain. Both
+        engines produce bit-identical :class:`SimulationResult` values
+        (``repro verify-fastpath`` proves this), so ``engine`` is
+        deliberately *not* recorded in ``result.info``.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigurationError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    if engine not in ("fast", "reference"):
+        raise ConfigurationError(
+            f'engine must be "fast" or "reference", got {engine!r}'
         )
     if config is None:
         config = cascade_lake()
@@ -178,24 +200,41 @@ def simulate(
 
     warmup_end = int(len(trace) * warmup_fraction)
 
+    fast: FastMachine | None = None
+    if engine == "fast" and fastpath_eligible(hierarchy, trace):
+        fast = FastMachine(hierarchy)
+
     warmup_core = CoreModel(config.core)
-    _run_accesses(hierarchy, warmup_core, trace, 0, warmup_end)
+    if fast is not None:
+        fast.run(warmup_core, trace, 0, warmup_end)
+    else:
+        _run_accesses(hierarchy, warmup_core, trace, 0, warmup_end)
     warmup_core.drain()
-    _reset_statistics(hierarchy)
+    _reset_statistics(hierarchy, int(warmup_core.cycle))
+    if fast is not None:
+        fast.reset_counters()
 
     core = CoreModel(config.core)
     if telemetry is None:
-        _run_accesses(hierarchy, core, trace, warmup_end, len(trace))
         collector = None
+        if fast is not None:
+            fast.run(core, trace, warmup_end, len(trace))
+        else:
+            _run_accesses(hierarchy, core, trace, warmup_end, len(trace))
     else:
         collector = TelemetryCollector(telemetry, hierarchy)
         collector.attach()
-        _run_accesses_telemetry(
-            hierarchy, core, trace, warmup_end, len(trace), collector
-        )
+        if fast is not None:
+            fast.run_with_telemetry(core, trace, warmup_end, len(trace), collector)
+        else:
+            _run_accesses_telemetry(
+                hierarchy, core, trace, warmup_end, len(trace), collector
+            )
     core_stats = core.drain()
     if collector is not None:
         collector.finalize(core)
+    if fast is not None:
+        fast.checkin()
 
     info = {
         "warmup_accesses": warmup_end,

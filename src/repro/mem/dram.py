@@ -119,6 +119,25 @@ class DRAM:
         bank.next_free = start + service
         return queue_wait + service
 
+    def rebase(self, cycle: int) -> None:
+        """Shift the bank clocks so ``cycle`` becomes the new time origin.
+
+        The simulation driver resets the core to cycle 0 at the
+        warm-up/measurement boundary; without a matching shift here, the
+        banks' ``next_free`` timestamps would still be expressed on the
+        warm-up clock and the first measured reads would pay the entire
+        warm-up duration as spurious queue wait. Rebasing preserves the
+        *residual* bank busy time (a bank still ``k`` cycles from free
+        stays ``k`` cycles from free) and keeps open-row state intact —
+        exactly what a continuously-running memory system would show at
+        that instant.
+        """
+        if cycle < 0:
+            raise ValueError(f"rebase cycle must be non-negative, got {cycle}")
+        for bank in self._banks:
+            residual = bank.next_free - cycle
+            bank.next_free = residual if residual > 0 else 0
+
     def read(self, addr: int, cycle: int) -> int:
         """A demand read at ``cycle``; returns total latency in cycles."""
         latency = self._service(addr, cycle)

@@ -21,7 +21,7 @@ overlap and the harness can report where accesses were served.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..trace.record import AccessKind
@@ -57,11 +57,9 @@ class HierarchyStats:
     #: Inclusive mode: LLC evictions that snooped the upper levels.
     back_invalidations: int = 0
     #: Demand accesses served per level.
-    served_by: dict[int, int] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.served_by is None:
-            self.served_by = {level: 0 for level in ServiceLevel}
+    served_by: dict[int, int] = field(
+        default_factory=lambda: dict.fromkeys(ServiceLevel, 0)
+    )
 
     @property
     def l1d_miss_dram_fraction(self) -> float:
@@ -141,12 +139,14 @@ class CacheHierarchy:
         if fill.victim_dirty and fill.victim_block is not None:
             self._writeback_to_llc(fill.victim_block, cycle)
 
-    def _back_invalidate(self, block: int, cycle: int) -> None:
+    def _back_invalidate(self, block: int, cycle: int) -> bool:
         """Inclusive mode: an LLC eviction removes upper-level copies.
 
         A dirty upper-level copy holds the freshest data; its contents go
         straight to memory, as a real inclusive hierarchy's back-snoop
-        would force.
+        would force. Returns whether such a flush happened, so the LLC
+        fill path never issues a second (stale) writeback for the same
+        block.
         """
         dirty = False
         for cache in (self.l1i, self.l1d, self.l2):
@@ -158,26 +158,37 @@ class CacheHierarchy:
         if dirty:
             self.dram.write(block << self.block_bits, cycle)
         self.stats.back_invalidations += 1
+        return dirty
 
     def _fill_llc(self, block: int, pc: int, kind: int, cycle: int) -> None:  # hot
         fill = self.llc.fill(block, pc, kind)
-        if self.inclusive and fill.victim_block is not None:
-            self._back_invalidate(fill.victim_block, cycle)
-        if fill.victim_dirty and fill.victim_block is not None:
-            self.dram.write(fill.victim_block << self.block_bits, cycle)
+        victim = fill.victim_block
+        if victim is None:
+            return
+        upper_dirty = False
+        if self.inclusive:
+            upper_dirty = self._back_invalidate(victim, cycle)
+        # One DRAM write per evicted block: the back-snoop flush carries
+        # the freshest (upper-level) data, so a dirty LLC victim only
+        # writes back when no upper copy already did.
+        if fill.victim_dirty and not upper_dirty:
+            self.dram.write(victim << self.block_bits, cycle)
 
     # -- prefetching -------------------------------------------------------------
 
     def _run_l2_prefetcher(self, block: int, pc: int, hit: bool, cycle: int) -> None:
         assert self.l2_prefetcher is not None
         for pf_block in self.l2_prefetcher.observe(block, pc, hit):
-            if self.l2.lookup(pf_block) >= 0:
+            # Probe through access() so the L2's prefetch_accesses /
+            # prefetch_hits counters both move and the hit rate means
+            # something; a prefetch that is already resident is a hit
+            # (and refreshes its recency), not an untracked no-op.
+            if self.l2.access(pf_block, pc, AccessKind.PREFETCH).hit:
                 continue
             probe = self.llc.access(pf_block, pc, AccessKind.PREFETCH)
             if not probe.hit:
                 self.dram.read(pf_block << self.block_bits, cycle)
                 self._fill_llc(pf_block, pc, AccessKind.PREFETCH, cycle)
-            self.l2.stats.prefetch_accesses += 1
             self._fill_l2(pf_block, pc, AccessKind.PREFETCH, cycle)
 
     # -- the demand path -----------------------------------------------------------

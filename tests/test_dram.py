@@ -102,3 +102,39 @@ class TestStreamBehaviour:
         for i in range(256):
             d.read(int(rng.integers(0, 1 << 30)) & ~63, cycle=i * 10_000)
         assert d.stats.row_hit_rate < 0.2
+
+
+class TestRebase:
+    def test_residual_busy_time_preserved(self):
+        d = DRAM(cfg())
+        d.read(0, cycle=10_000)  # bank 0 busy until 10_000 + service
+        busy_until = d._banks[0].next_free
+        d.rebase(10_000)
+        assert d._banks[0].next_free == busy_until - 10_000
+
+    def test_idle_banks_clamp_to_zero(self):
+        d = DRAM(cfg())
+        d.read(0, cycle=0)  # long since completed by cycle 1_000_000
+        d.rebase(1_000_000)
+        assert all(bank.next_free == 0 for bank in d._banks)
+
+    def test_open_row_state_survives(self):
+        d = DRAM(cfg())
+        d.read(0, cycle=0)
+        d.rebase(500_000)
+        # Same row on the new clock: still a row hit, not a re-activate.
+        assert d.read(64, cycle=0) >= d.config.row_hit_latency
+        assert d.stats.row_hits == 1
+
+    def test_rebase_then_read_pays_no_stale_queue_wait(self):
+        d = DRAM(cfg())
+        for i in range(64):  # hammer bank 0 to build a long queue
+            d.read(i * d.config.row_bytes * d.config.banks_per_channel, cycle=0)
+        d.rebase(d._banks[0].next_free)  # boundary after the queue drains
+        latency = d.read(0, cycle=0)
+        assert latency <= d.config.row_conflict_latency
+
+    def test_negative_cycle_rejected(self):
+        d = DRAM(cfg())
+        with pytest.raises(ValueError):
+            d.rebase(-1)

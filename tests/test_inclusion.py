@@ -110,3 +110,55 @@ class TestBackInvalidation:
             incl.levels["L1D"].demand_hit_rate
             <= nine.levels["L1D"].demand_hit_rate + 0.02
         )
+
+
+class TestSingleWritebackPerEviction:
+    """An LLC eviction whose victim is dirty *both* in the LLC and in an
+    upper level must write DRAM exactly once (the back-snooped upper copy
+    is the freshest data). Regression test for the double-write bug where
+    ``_back_invalidate`` and ``_fill_llc`` each issued ``dram.write``."""
+
+    @staticmethod
+    def _instrument_writes(h):
+        written = []
+        real_write = h.dram.write
+
+        def recording_write(addr, cycle):
+            written.append(addr)
+            real_write(addr, cycle)
+
+        h.dram.write = recording_write
+        return written
+
+    def test_doubly_dirty_victim_written_once(self):
+        """STORE block 0 (dirty in L1D *and*, via the STORE-kind fill, in
+        the LLC), keep it hot in the L1D, then overflow LLC set 0 until
+        block 0 is evicted: that one eviction event must write block 0 to
+        DRAM once — the bug wrote it twice (back-snoop flush + victim
+        writeback)."""
+        h = build_hierarchy(tiny_config(), "lru", inclusive=True)
+        written = self._instrument_writes(h)
+        h.access(0, 0, STORE, 0)
+        for i in range(1, h.llc.num_ways + 2):
+            cycle = i * 1000
+            h.access(h.llc.num_sets * i * 64, 0, LOAD, cycle)
+            if 0 in written:
+                break  # block 0 just got LLC-evicted while dirty above
+            h.access(0, 0, STORE, cycle + 1)  # L1D hit: stays dirty above
+        assert written.count(0) == 1
+
+    def test_clean_upper_dirty_llc_victim_still_written(self):
+        """Sanity: with no dirty upper copy, the dirty LLC victim itself
+        must still be written back exactly once."""
+        h = build_hierarchy(tiny_config(), "lru", inclusive=True)
+        written = self._instrument_writes(h)
+        h.access(0, 0, STORE, 0)
+        # Evict block 0 from L1D and L2 first (clean upper levels), by
+        # conflicting in their sets without touching LLC set 0's ways...
+        # simpler: invalidate the upper copies directly.
+        h.l1d.invalidate(0)
+        h.l2.invalidate(0)
+        for i in range(1, h.llc.num_ways + 2):
+            h.access(h.llc.num_sets * i * 64, 0, LOAD, i * 1000)
+        assert not h.llc.contains(0)
+        assert written.count(0) == 1

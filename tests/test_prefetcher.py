@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.core.simulator import build_hierarchy
 from repro.mem.prefetcher import IPStridePrefetcher, NextLinePrefetcher
+from repro.trace.record import AccessKind
 
 
 class TestNextLine:
@@ -78,3 +80,45 @@ class TestIPStride:
             p.observe(block, 0x400, hit=False)
         p.reset()
         assert p.observe(16, 0x400, hit=False) == []
+
+
+class TestL2PrefetchAccounting:
+    """The hierarchy must probe prefetch targets through
+    ``access(..., PREFETCH)`` so the L2's prefetch_accesses *and*
+    prefetch_hits counters both move. Regression test for the bug where
+    already-resident targets were skipped without being counted, pinning
+    prefetch_hits at zero forever."""
+
+    @staticmethod
+    def _hierarchy(small_machine):
+        return build_hierarchy(
+            small_machine, "lru", l2_prefetcher=NextLinePrefetcher()
+        )
+
+    def test_resident_prefetch_target_counts_as_hit(self, small_machine):
+        h = self._hierarchy(small_machine)
+        # Demand block 12: fills L2 with 12, prefetches 13 (not resident).
+        h.access(12 * 64, 0x400, AccessKind.LOAD, 0)
+        assert h.l2.stats.prefetch_accesses == 1
+        assert h.l2.stats.prefetch_hits == 0
+        # Demand block 11: prefetches 12 — resident in L2, so a hit.
+        h.access(11 * 64, 0x400, AccessKind.LOAD, 100)
+        assert h.l2.stats.prefetch_accesses == 2
+        assert h.l2.stats.prefetch_hits == 1
+
+    def test_sequential_stream_accumulates_prefetch_hits(self, small_machine):
+        h = self._hierarchy(small_machine)
+        # A descending stream makes every next-line target the previously
+        # demanded (hence resident) block.
+        for i, block in enumerate(range(64, 32, -1)):
+            h.access(block * 64, 0x400, AccessKind.LOAD, i * 100)
+        assert h.l2.stats.prefetch_hits > 0
+        assert h.l2.stats.prefetch_accesses >= h.l2.stats.prefetch_hits
+
+    def test_prefetch_probes_do_not_touch_demand_counters(self, small_machine):
+        h = self._hierarchy(small_machine)
+        h.access(12 * 64, 0x400, AccessKind.LOAD, 0)
+        h.access(11 * 64, 0x400, AccessKind.LOAD, 100)
+        # Two demand accesses reached the L2; the two prefetch probes
+        # must not be folded into the demand counters.
+        assert h.l2.stats.demand_accesses == 2

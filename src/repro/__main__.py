@@ -5,9 +5,13 @@ The subcommands cover the common workflows without writing a script:
 * ``simulate`` — trace one workload and run it under one policy;
 * ``sweep`` — a (workload x policy) matrix with speed-ups over LRU,
   fanned out over ``--jobs`` worker processes with on-disk caching;
+  ``--retries``/``--cell-timeout`` arm the fault-tolerance layer;
 * ``profile`` — run one cell with interval-resolved telemetry armed and
   render (or dump as JSON) its profile;
-* ``cache`` — inspect/clear/prune the sweep engine's result cache;
+* ``cache`` — inspect/verify/clear/prune the sweep engine's result cache;
+* ``chaos`` — deterministic fault injection (worker crashes, hangs,
+  corrupt cache entries, truncated traces) over a small GAP sweep,
+  asserting every recovery path end-to-end;
 * ``experiment`` — regenerate one of the paper's tables/figures;
 * ``lint`` — run the policy-contract static analyzer (and, with
   ``--sanitize-selftest``, the runtime invariant sanitizer);
@@ -129,6 +133,32 @@ def _default_cache_dir() -> Path:
     return Path("~/.cache/repro/sweeps").expanduser()
 
 
+def _retry_policy_from(args: argparse.Namespace):
+    """A RetryPolicy from CLI flags, or None when resilience is off."""
+    if not args.retries and args.cell_timeout is None:
+        return None
+    from .resilience import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=args.retries + 1,
+        cell_timeout=args.cell_timeout,
+        seed=args.retry_seed,
+    )
+
+
+def _add_retry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--retries", type=int, default=0,
+                        help="retry transient cell failures up to N times "
+                             "with deterministic backoff (default: 0, off)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per cell, enforced by a "
+                             "watchdog (forces worker processes; default: none)")
+    parser.add_argument("--retry-seed", type=int, default=0,
+                        help="seed of the deterministic backoff jitter "
+                             "(default: 0)")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a (workload x policy) matrix and print speed-ups over LRU."""
     from .harness.engine import SweepEngine
@@ -144,6 +174,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         progress=lambda w, p: print(f"  running {w} x {p} ...", file=sys.stderr),
         sanitize=args.sanitize,
         engine=engine,
+        retry=_retry_policy_from(args),
     )
     rows = [
         [w, *[matrix.speedup(w, p) for p in policies[1:]]]
@@ -158,6 +189,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"{stats.simulated} simulated ({args.jobs} jobs)",
             file=sys.stderr,
         )
+    if matrix.failure_report is not None and matrix.failure_report.cells:
+        from .harness.report import render_failure_report
+
+        print(render_failure_report(matrix.failure_report), file=sys.stderr)
     return 0
 
 
@@ -171,6 +206,16 @@ def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir or _default_cache_dir())
     if args.action == "stats":
         print(cache.stats().render())
+    elif args.action == "verify":
+        report = cache.verify()
+        print(report.render())
+        if report.quarantined:
+            print(
+                f"quarantined entries moved to "
+                f"{cache.root / 'quarantine'}; they will be re-simulated",
+                file=sys.stderr,
+            )
+            return 1
     elif args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} entries")
@@ -178,6 +223,37 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.prune()
         print(f"pruned {removed} stale entries (current salt {cache.salt})")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded fault injection over a small GAP sweep (see docs/resilience.md)."""
+    import json
+
+    from .resilience import RetryPolicy, run_chaos
+
+    retry = RetryPolicy(
+        max_attempts=args.retries + 1,
+        cell_timeout=args.cell_timeout,
+        backoff_base=0.05,
+        backoff_max=1.0,
+        seed=args.seed,
+    )
+    report = run_chaos(
+        seed=args.seed,
+        kernels=tuple(args.kernels),
+        policies=tuple(args.policies or ("lru", "srrip")),
+        max_accesses=args.window,
+        jobs=args.jobs,
+        retry=retry,
+        progress=lambda message: print(f"  {message}", file=sys.stderr),
+    )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_json_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -314,6 +390,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="disable the on-disk result cache")
     p_sweep.add_argument("--sanitize", action="store_true",
                          help="arm runtime invariant checks on every cache level")
+    _add_retry_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_prof = sub.add_parser(
@@ -333,12 +410,37 @@ def main(argv: list[str] | None = None) -> int:
     p_prof.set_defaults(func=cmd_profile)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect/clear/prune the sweep result cache")
-    p_cache.add_argument("action", choices=["stats", "clear", "prune", "salt"])
+        "cache", help="inspect/verify/clear/prune the sweep result cache")
+    p_cache.add_argument("action",
+                         choices=["stats", "verify", "clear", "prune", "salt"])
     p_cache.add_argument("--cache-dir", default=None,
                          help="cache root (default: $REPRO_CACHE_DIR or "
                               "~/.cache/repro/sweeps)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault injection: crash/hang workers, corrupt cache, "
+             "truncate traces; assert full recovery")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="fault-schedule seed (default: 0)")
+    p_chaos.add_argument("--kernels", nargs="*", default=["bfs", "pr"],
+                         choices=GAP_KERNELS,
+                         help="GAP kernels for the chaos matrix (default: bfs pr)")
+    p_chaos.add_argument("--policies", nargs="*", choices=available_policies(),
+                         help="policies for the chaos matrix (default: lru srrip)")
+    p_chaos.add_argument("--window", type=int, default=20_000,
+                         help="traced accesses per kernel (default 20k)")
+    p_chaos.add_argument("--jobs", type=int, default=2,
+                         help="worker processes (default: 2)")
+    p_chaos.add_argument("--retries", type=int, default=2,
+                         help="transient-failure retries per cell (default: 2)")
+    p_chaos.add_argument("--cell-timeout", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="per-cell wall-clock budget (default: 10)")
+    p_chaos.add_argument("--json", metavar="PATH",
+                         help="also write the chaos report as JSON here")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_lint = sub.add_parser(
         "lint", help="policy-contract static analyzer + invariant sanitizer")

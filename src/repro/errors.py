@@ -55,3 +55,31 @@ class SimulationError(ReproError):
     This signals a bug in the library rather than bad user input; seeing it
     in the wild should be reported together with the trace that caused it.
     """
+
+
+class ResilienceError(ReproError):
+    """The fault-tolerance layer itself was misconfigured or failed.
+
+    Raised for invalid :class:`repro.resilience.RetryPolicy` parameters
+    and for chaos-harness misuse, never for the workload failures the
+    layer exists to absorb (those are classified and retried instead).
+    """
+
+
+class CellTimeoutError(ResilienceError):
+    """A sweep cell exceeded its wall-clock budget and was aborted.
+
+    Synthesized by the watchdog in the parent process — the hung worker
+    never raises it itself. Classified as transient: the cell is retried
+    (a loaded machine can stall a healthy cell) until it either finishes
+    or accumulates enough strikes to be marked poison.
+    """
+
+
+class CacheIntegrityError(ReproError):
+    """An on-disk result-cache entry failed its content checksum.
+
+    Corrupt entries are quarantined rather than trusted or deleted, so
+    this error surfaces only from explicit integrity APIs; the sweep
+    read path treats quarantined entries as cache misses.
+    """

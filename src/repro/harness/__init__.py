@@ -6,7 +6,9 @@ from .engine import (
     SweepEngine,
     SweepOutcome,
     SweepStats,
+    VerifyReport,
     cell_key,
+    result_checksum,
     simulator_salt,
 )
 from .experiments import (
@@ -24,7 +26,7 @@ from .experiments import (
     spec_traces,
 )
 from .multiseed import MetricSummary, ReplicatedRun, replicate, replicated_speedup, summarize
-from .report import generate_report
+from .report import generate_report, render_failure_report
 from .runner import RunMatrix, run_matrix
 
 __all__ = [
@@ -36,8 +38,11 @@ __all__ = [
     "SweepStats",
     "CellError",
     "ResultCache",
+    "VerifyReport",
     "cell_key",
+    "result_checksum",
     "simulator_salt",
+    "render_failure_report",
     "gap_traces",
     "spec_traces",
     "experiment_table1",

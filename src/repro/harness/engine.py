@@ -38,19 +38,33 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..core.config import MachineConfig, cascade_lake
 from ..core.results import RESULT_SCHEMA_VERSION, SimulationResult
 from ..core.simulator import DEFAULT_WARMUP_FRACTION, simulate
-from ..errors import SimulationError
+from ..errors import CacheIntegrityError, SimulationError
+from ..resilience.executor import ResilientExecutor
+from ..resilience.policy import FailureKind, RetryPolicy
+from ..resilience.report import FailureReport
 from ..telemetry.collector import TelemetryConfig
 from ..trace.trace import Trace
 from .runner import RunMatrix
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..resilience.chaos import ChaosPlan
+
 #: Version of one on-disk cache entry's envelope (the ``result`` payload
 #: inside carries its own schema version from :mod:`repro.core.results`).
-CACHE_ENTRY_VERSION = 1
+#: v2 added the content ``checksum`` field; v1 entries are treated as
+#: cache misses (deleted and re-simulated), never as errors.
+CACHE_ENTRY_VERSION = 2
+
+#: Directory under the cache root where corrupt entries are moved. A
+#: quarantined entry is evidence (of bad disks, bad RAM, or a writer
+#: bug), so it is preserved for inspection instead of deleted; the read
+#: path treats it as a miss.
+QUARANTINE_DIR = "quarantine"
 
 #: Subpackages whose source text defines simulation semantics: any edit
 #: to them must invalidate cached results. Telemetry is included because
@@ -119,6 +133,16 @@ def cell_key(
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def result_checksum(result_doc: dict) -> str:
+    """Content checksum of one cache entry's ``result`` payload.
+
+    SHA-256 over the canonical JSON encoding; stable across load/store
+    round trips because ``json`` preserves float representations.
+    """
+    canonical = json.dumps(result_doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 @dataclass(frozen=True)
 class CellError:
     """Structured record of one failed sweep cell."""
@@ -128,6 +152,9 @@ class CellError:
     error_type: str
     message: str
     traceback: str = ""
+    #: Failure-taxonomy bucket (:class:`repro.resilience.FailureKind`
+    #: value); "deterministic" for non-resilient sweeps.
+    classification: str = "deterministic"
 
     def render(self) -> str:
         return f"{self.workload} x {self.policy}: {self.error_type}: {self.message}"
@@ -154,6 +181,9 @@ class SweepOutcome:
     matrix: RunMatrix
     errors: dict[tuple[str, str], CellError] = field(default_factory=dict)
     stats: SweepStats = field(default_factory=SweepStats)
+    #: Per-attempt accounting of everything the resilience layer
+    #: absorbed; ``None`` for sweeps run without a retry policy.
+    failure_report: "FailureReport | None" = None
 
 
 @dataclass
@@ -165,6 +195,8 @@ class CacheReport:
     entries: int = 0
     bytes: int = 0
     by_salt: dict[str, int] = field(default_factory=dict)
+    corrupt: int = 0  # live entries failing their content checksum
+    quarantined: int = 0  # entries previously moved to quarantine/
 
     @property
     def stale_entries(self) -> int:
@@ -178,11 +210,31 @@ class CacheReport:
             f"cache root:   {self.root}",
             f"current salt: {self.current_salt}",
             f"entries:      {self.entries} ({self.bytes / 1024:.1f} KiB)",
+            f"integrity:    {self.corrupt} corrupt, "
+            f"{self.quarantined} quarantined",
         ]
         for salt in sorted(self.by_salt):
             marker = "current" if salt == self.current_salt else "stale"
             lines.append(f"  salt {salt}: {self.by_salt[salt]} entries ({marker})")
         return "\n".join(lines)
+
+
+@dataclass
+class VerifyReport:
+    """Result of a full-cache integrity pass (``repro cache verify``)."""
+
+    root: str
+    checked: int = 0
+    ok: int = 0
+    quarantined: int = 0  # corrupt entries moved this pass
+    stale_format: int = 0  # well-formed entries with an old envelope version
+
+    def render(self) -> str:
+        return (
+            f"verified {self.checked} entries under {self.root}: "
+            f"{self.ok} ok, {self.quarantined} corrupt (quarantined), "
+            f"{self.stale_format} stale-format"
+        )
 
 
 class ResultCache:
@@ -205,6 +257,9 @@ class ResultCache:
         self.root = Path(root)
         self.salt = salt if salt is not None else simulator_salt()
         self._disabled = False
+        #: Corrupt entries this instance moved to quarantine (the sweep
+        #: engine snapshots it around a run for the failure report).
+        self.quarantined_count = 0
 
     def _disable(self, exc: OSError) -> None:
         """Fall back to uncached operation after a filesystem failure."""
@@ -220,19 +275,54 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / self.salt / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (never trust it, never destroy it)."""
+        quarantine = self.root / QUARANTINE_DIR
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+            self.quarantined_count += 1
+        except OSError as exc:
+            self._disable(exc)
+
+    @staticmethod
+    def _validate_entry(doc: dict) -> SimulationResult:
+        """Decode one entry document, enforcing its content checksum.
+
+        Raises :class:`~repro.errors.CacheIntegrityError` on a checksum
+        mismatch and :class:`SimulationError` on schema problems.
+        """
+        if doc.get("entry_version") != CACHE_ENTRY_VERSION:
+            raise SimulationError("cache entry version mismatch")
+        result_doc = doc["result"]
+        expected = doc.get("checksum")
+        if expected != result_checksum(result_doc):
+            raise CacheIntegrityError(
+                f"cache entry checksum mismatch (stored {expected!r})"
+            )
+        return SimulationResult.from_json_dict(result_doc)
+
     def load(self, key: str) -> SimulationResult | None:
-        """The cached result for ``key``, or None on miss/corruption."""
+        """The cached result for ``key``, or None on miss/corruption.
+
+        A corrupt entry (unreadable JSON or checksum mismatch) is moved
+        to the quarantine directory and treated as a miss; an entry with
+        an outdated envelope version is deleted (old schema, not
+        corruption) and treated as a miss.
+        """
         path = self.path_for(key)
         try:
             doc = json.loads(path.read_text(encoding="utf-8"))
-            if doc.get("entry_version") != CACHE_ENTRY_VERSION:
-                raise SimulationError("cache entry version mismatch")
-            return SimulationResult.from_json_dict(doc["result"])
+            return self._validate_entry(doc)
         except FileNotFoundError:
             return None
-        except (json.JSONDecodeError, KeyError, TypeError, SimulationError):
+        except (json.JSONDecodeError, UnicodeDecodeError, CacheIntegrityError,
+                KeyError, TypeError):
+            self._quarantine(path)  # corrupt entry: preserve the evidence
+            return None
+        except SimulationError:
             try:
-                path.unlink(missing_ok=True)  # self-heal: corrupt entry = miss
+                path.unlink(missing_ok=True)  # old/foreign schema = plain miss
             except OSError as exc:
                 self._disable(exc)
             return None
@@ -250,11 +340,13 @@ class ResultCache:
         if self._disabled:
             return None
         path = self.path_for(key)
+        result_doc = result.to_json_dict()
         doc = {
             "entry_version": CACHE_ENTRY_VERSION,
             "salt": self.salt,
             "key": key,
-            "result": result.to_json_dict(),
+            "checksum": result_checksum(result_doc),
+            "result": result_doc,
         }
         tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
         try:
@@ -267,18 +359,68 @@ class ResultCache:
         return path
 
     def _entry_files(self) -> list[Path]:
+        """Live entry files (quarantined entries are not entries)."""
         if not self.root.is_dir():
             return []
-        return [p for p in self.root.rglob("*.json") if p.is_file()]
+        return [
+            p
+            for p in self.root.rglob("*.json")
+            if p.is_file()
+            and p.relative_to(self.root).parts[0] != QUARANTINE_DIR
+        ]
+
+    def _quarantined_files(self) -> list[Path]:
+        quarantine = self.root / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return []
+        return [p for p in quarantine.iterdir() if p.is_file()]
 
     def stats(self) -> CacheReport:
-        """Count entries and bytes, split by simulator salt."""
+        """Count entries and bytes by salt, and verify content checksums.
+
+        ``corrupt`` counts live entries whose checksum no longer matches
+        their payload (read-only detection; ``verify`` quarantines
+        them), ``quarantined`` counts entries already moved aside.
+        """
         report = CacheReport(root=str(self.root), current_salt=self.salt)
         for path in self._entry_files():
             salt = path.relative_to(self.root).parts[0]
             report.entries += 1
             report.bytes += path.stat().st_size
             report.by_salt[salt] = report.by_salt.get(salt, 0) + 1
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+                self._validate_entry(doc)
+            except (SimulationError, OSError):
+                pass  # stale schema / transient read failure: not corruption
+            except Exception:
+                report.corrupt += 1
+        report.quarantined = len(self._quarantined_files())
+        return report
+
+    def verify(self) -> VerifyReport:
+        """Integrity-check every entry; quarantine the corrupt ones.
+
+        Old-envelope entries are counted as ``stale_format`` and left in
+        place (they are schema history, not corruption; the read path
+        already treats them as misses and ``prune`` removes stale
+        generations wholesale).
+        """
+        report = VerifyReport(root=str(self.root))
+        for path in self._entry_files():
+            report.checked += 1
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+                self._validate_entry(doc)
+            except SimulationError:
+                report.stale_format += 1
+            except OSError as exc:
+                self._disable(exc)
+            except Exception:
+                self._quarantine(path)
+                report.quarantined += 1
+            else:
+                report.ok += 1
         return report
 
     def clear(self) -> int:
@@ -307,7 +449,11 @@ class ResultCache:
             return removed
         try:
             for child in self.root.iterdir():
-                if child.is_dir() and child.name != self.salt:
+                if (
+                    child.is_dir()
+                    and child.name != self.salt
+                    and child.name != QUARANTINE_DIR  # evidence, not staleness
+                ):
                     stale = sum(1 for _ in child.rglob("*.json"))
                     shutil.rmtree(child)
                     removed += stale
@@ -390,6 +536,8 @@ class SweepEngine:
         sanitize: bool = False,
         isolate_failures: bool = False,
         telemetry: TelemetryConfig | None = None,
+        retry: RetryPolicy | None = None,
+        chaos: "ChaosPlan | None" = None,
     ) -> SweepOutcome:
         """Run every (trace, policy) cell and assemble a :class:`RunMatrix`.
 
@@ -404,6 +552,17 @@ class SweepEngine:
         observability (:mod:`repro.telemetry`) on every cell; the
         configuration is part of each cell's cache key, so telemetry-
         armed results never collide with plain ones.
+
+        ``retry`` arms the resilience layer (:mod:`repro.resilience`):
+        transient failures are retried with deterministic backoff, a
+        ``cell_timeout`` is enforced by a watchdog, worker-pool deaths
+        are recovered, and every absorbed failure lands in the outcome's
+        :class:`~repro.resilience.report.FailureReport`. A timeout (or a
+        ``chaos`` plan) forces pool execution even at ``jobs=1``, since
+        a hung in-process cell cannot be aborted. ``chaos`` injects
+        faults from a seeded schedule (see
+        :mod:`repro.resilience.chaos`); neither knob affects cell cache
+        keys because neither changes what a *successful* cell computes.
         """
         if isinstance(traces, list):
             traces = {t.name: t for t in traces}
@@ -416,6 +575,9 @@ class SweepEngine:
         resolved: dict[tuple[str, str], SimulationResult] = {}
         keys: dict[tuple[str, str], str] = {}
         pending: list[tuple[str, str]] = []
+        quarantined_before = (
+            self.cache.quarantined_count if self.cache is not None else 0
+        )
 
         for workload, policy in cells:
             if progress is not None:
@@ -439,7 +601,12 @@ class SweepEngine:
             if self.cache is not None:
                 self.cache.store(keys[(workload, policy)], result)
 
-        def record_failure(workload: str, policy: str, exc: Exception) -> None:
+        def record_failure(
+            workload: str,
+            policy: str,
+            exc: BaseException,
+            classification: str = FailureKind.DETERMINISTIC.value,
+        ) -> None:
             if not isolate_failures:
                 raise exc
             stats.errors += 1
@@ -451,9 +618,21 @@ class SweepEngine:
                 traceback="".join(
                     traceback_module.format_exception(type(exc), exc, exc.__traceback__)
                 ),
+                classification=classification,
             )
 
-        if self.jobs > 1 and len(pending) > 1:
+        failure_report: FailureReport | None = None
+        if retry is not None or chaos is not None:
+            failure_report = self._run_resilient(
+                pending, traces, config, warmup_fraction, sanitize, telemetry,
+                retry if retry is not None else RetryPolicy(),
+                chaos, record, record_failure,
+            )
+            if self.cache is not None:
+                failure_report.quarantined_cache_entries = (
+                    self.cache.quarantined_count - quarantined_before
+                )
+        elif self.jobs > 1 and len(pending) > 1:
             self._run_parallel(
                 pending, traces, config, warmup_fraction, sanitize, telemetry,
                 record, record_failure,
@@ -464,6 +643,15 @@ class SweepEngine:
                     _, _, result = _simulate_cell(
                         workload, policy, traces[workload], config,
                         warmup_fraction, sanitize, telemetry,
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    raise  # never swallowed into a CellError
+                except MemoryError as exc:
+                    # Poison: an OOM-ing cell will OOM again; isolate it
+                    # explicitly instead of retrying or mislabeling it.
+                    record_failure(
+                        workload, policy, exc,
+                        classification=FailureKind.POISON.value,
                     )
                 except Exception as exc:
                     record_failure(workload, policy, exc)
@@ -479,7 +667,80 @@ class SweepEngine:
             }
             if row:
                 matrix.results[workload] = row
-        return SweepOutcome(matrix=matrix, errors=errors, stats=stats)
+        return SweepOutcome(
+            matrix=matrix, errors=errors, stats=stats,
+            failure_report=failure_report,
+        )
+
+    def _run_resilient(
+        self,
+        pending: list[tuple[str, str]],
+        traces: dict[str, Trace],
+        config: MachineConfig,
+        warmup_fraction: float,
+        sanitize: bool,
+        telemetry: TelemetryConfig | None,
+        retry: RetryPolicy,
+        chaos: "ChaosPlan | None",
+        record: Callable[[str, str, SimulationResult], None],
+        record_failure: Callable[..., None],
+    ) -> FailureReport:
+        """Run pending cells through the fault-tolerant executor.
+
+        The watchdog and chaos injection both need cells in worker
+        processes (a hung or crashing in-process cell takes the sweep
+        with it), so either forces the pool path even at ``jobs=1``.
+        """
+        report = FailureReport()
+        use_pool = (
+            self.jobs > 1 or retry.cell_timeout is not None or chaos is not None
+        )
+
+        if chaos is not None:
+            from ..resilience.chaos import _chaos_simulate_cell
+
+            def submit(pool, workload: str, policy: str, attempt: int):  # noqa: ARG001
+                return pool.submit(
+                    _chaos_simulate_cell, chaos, workload, policy,
+                    traces[workload], config, warmup_fraction, sanitize,
+                    telemetry,
+                )
+        else:
+            def submit(pool, workload: str, policy: str, attempt: int):  # noqa: ARG001
+                return pool.submit(
+                    _simulate_cell, workload, policy, traces[workload],
+                    config, warmup_fraction, sanitize, telemetry,
+                )
+
+        def run_inline(workload: str, policy: str, attempt: int):  # noqa: ARG001
+            return _simulate_cell(
+                workload, policy, traces[workload], config, warmup_fraction,
+                sanitize, telemetry,
+            )
+
+        def on_success(workload: str, policy: str, payload: object) -> None:
+            _, _, result = payload  # type: ignore[misc]
+            record(workload, policy, result)
+
+        def on_failure(
+            workload: str, policy: str, exc: BaseException, kind: FailureKind
+        ) -> None:
+            record_failure(workload, policy, exc, classification=kind.value)
+
+        executor = ResilientExecutor(
+            retry=retry,
+            workers=min(self.jobs, len(pending)) or 1,
+            submit=submit,
+            run_inline=run_inline,
+            on_success=on_success,
+            on_failure=on_failure,
+            report=report,
+        )
+        if use_pool and pending:
+            executor.run_pool(pending)
+        else:
+            executor.run_serial(pending)
+        return report
 
     def _run_parallel(
         self,
@@ -490,7 +751,7 @@ class SweepEngine:
         sanitize: bool,
         telemetry: TelemetryConfig | None,
         record: Callable[[str, str, SimulationResult], None],
-        record_failure: Callable[[str, str, Exception], None],
+        record_failure: Callable[..., None],
     ) -> None:
         """Fan pending cells out over a process pool, streaming results.
 
@@ -515,6 +776,15 @@ class SweepEngine:
                         workload, policy = futures[future]
                         try:
                             _, _, result = future.result()
+                        except (KeyboardInterrupt, SystemExit):
+                            raise  # never swallowed into a CellError
+                        except MemoryError as exc:
+                            # Poison, not a generic cell failure: retrying
+                            # an OOM-ing cell only re-kills workers.
+                            record_failure(
+                                workload, policy, exc,
+                                classification=FailureKind.POISON.value,
+                            )
                         except Exception as exc:
                             record_failure(workload, policy, exc)
                         else:

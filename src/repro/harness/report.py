@@ -6,6 +6,9 @@ their tables (plus optional charts) into a single markdown file — the
 as ``python -m repro report``. ``render_profile()`` turns a telemetry
 profile (:mod:`repro.telemetry`) into the text/markdown summary behind
 ``python -m repro profile`` and the CI job summaries.
+``render_failure_report()`` does the same for the resilience layer's
+:class:`~repro.resilience.report.FailureReport` (``repro sweep`` /
+``repro chaos``).
 """
 
 from __future__ import annotations
@@ -15,8 +18,14 @@ from pathlib import Path
 from typing import Callable, Mapping
 
 from ..analysis.tables import format_table
+from ..resilience.report import FailureReport
 from ..telemetry.profile import MISS_CLASSES, TelemetryProfile
 from .experiments import ExperimentReport
+
+
+def render_failure_report(report: FailureReport, markdown: bool = False) -> str:
+    """Render what the resilience layer absorbed during one sweep."""
+    return report.render(markdown=markdown)
 
 #: Experiments rendered with a baseline-1.0 chart (speed-up figures).
 _BASELINE_CHARTS = {"fig3"}

@@ -23,6 +23,8 @@ from ..policies.registry import BASELINE_POLICY
 from ..trace.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us)
+    from ..resilience.policy import RetryPolicy
+    from ..resilience.report import FailureReport
     from ..telemetry.collector import TelemetryConfig
     from .engine import SweepEngine, SweepStats
 
@@ -40,6 +42,9 @@ class RunMatrix:
     #: Filled by the sweep engine: how many cells were cache hits vs
     #: simulated (None when the matrix was assembled by hand).
     sweep_stats: "SweepStats | None" = None
+    #: Filled by the sweep engine when a retry policy was armed: every
+    #: failure the resilience layer absorbed (None otherwise).
+    failure_report: "FailureReport | None" = None
 
     @property
     def workloads(self) -> list[str]:
@@ -94,6 +99,7 @@ def run_matrix(
     jobs: int | None = None,
     engine: "SweepEngine | None" = None,
     telemetry: "TelemetryConfig | None" = None,
+    retry: "RetryPolicy | None" = None,
 ) -> RunMatrix:
     """Simulate every (trace, policy) pair through the sweep engine.
 
@@ -108,7 +114,11 @@ def run_matrix(
     sweeps this way; see docs/linting.md). ``telemetry`` arms
     interval-resolved observability on every cell (see
     docs/telemetry.md); each cell's profile lands in its
-    ``result.info["telemetry"]``. Cell failures propagate; use
+    ``result.info["telemetry"]``. ``retry`` arms the resilience layer
+    (bounded retry with deterministic backoff, per-cell wall-clock
+    timeouts, worker-pool recovery — see docs/resilience.md); the
+    absorbed failures ride back on ``matrix.failure_report``. Cell
+    failures that survive the retry budget propagate; use
     :meth:`repro.harness.engine.SweepEngine.run` directly for per-cell
     failure isolation and engine statistics.
     """
@@ -124,6 +134,8 @@ def run_matrix(
         progress=progress,
         sanitize=sanitize,
         telemetry=telemetry,
+        retry=retry,
     )
     outcome.matrix.sweep_stats = outcome.stats
+    outcome.matrix.failure_report = outcome.failure_report
     return outcome.matrix

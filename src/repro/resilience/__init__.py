@@ -1,0 +1,39 @@
+"""Fault tolerance for long-horizon sweeps (:mod:`repro.resilience`).
+
+Production-scale GAP x SPEC x policy matrices run for hours; over that
+horizon workers get OOM-killed, cells hang, and on-disk state rots. This
+package makes the sweep stack survive all of it:
+
+* :class:`RetryPolicy` / :func:`classify_failure` — a failure model
+  (transient vs deterministic vs poison) with bounded retry, exponential
+  backoff and *deterministic* per-cell jitter (same seed, same schedule).
+* :class:`ResilientExecutor` — the engine's fault-tolerant execution
+  loop: per-cell wall-clock timeouts enforced by a watchdog, process
+  pool rebuild after ``BrokenProcessPool``, poison marking after
+  repeated strikes, and a structured :class:`FailureReport` of every
+  attempt.
+* :mod:`repro.resilience.chaos` — a seeded fault-injection harness
+  (``repro chaos``) that crashes workers, hangs cells, corrupts cache
+  entries and truncates traces on a deterministic schedule, proving
+  every recovery path end-to-end.
+
+See ``docs/resilience.md`` for the failure taxonomy and knobs.
+"""
+
+from .chaos import ChaosPlan, ChaosReport, run_chaos
+from .executor import ResilientExecutor
+from .policy import FailureKind, RetryPolicy, classify_failure
+from .report import CellAttempt, CellHistory, FailureReport
+
+__all__ = [
+    "CellAttempt",
+    "CellHistory",
+    "ChaosPlan",
+    "ChaosReport",
+    "FailureKind",
+    "FailureReport",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "classify_failure",
+    "run_chaos",
+]

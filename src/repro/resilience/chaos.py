@@ -1,0 +1,352 @@
+"""Deterministic fault injection: prove every recovery path end-to-end.
+
+``repro chaos`` runs a small GAP x policy sweep while injecting, from a
+seeded schedule, every failure mode the resilience layer claims to
+survive:
+
+* a **worker crash** (``os._exit`` mid-cell → ``BrokenProcessPool``);
+* a **hang** past the cell timeout (the watchdog must kill and retry);
+* a **corrupt cache entry** (checksum mismatch → quarantine + re-run);
+* a **truncated trace file** (structured ``TraceFormatError``).
+
+The harness then asserts the contract: the sweep *completes*, every
+retried cell's result is **bit-identical** to a fault-free baseline, and
+the :class:`~repro.resilience.report.FailureReport` accounts for every
+injected fault. CI runs this as the ``chaos-smoke`` step.
+
+Injection is exactly-once per fault via marker files in the harness's
+scratch directory: a scheduled fault fires the first time its cell
+reaches a worker and never again, so recovery is guaranteed to be
+exercised regardless of how the pool interleaves cells. The crash and
+the hang are chained onto the *same* victim cell (crash on its first
+run, hang on its second) because a concurrent crash tears down every
+worker — a hang scheduled on another cell could be absorbed by the
+crash recovery and never observed as a timeout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import tempfile
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.config import MachineConfig, small_test_machine
+from ..core.simulator import DEFAULT_WARMUP_FRACTION, simulate
+from ..errors import ResilienceError, TraceFormatError
+from ..trace.io import load_trace, save_trace
+from ..trace.trace import Trace
+from .policy import RetryPolicy
+from .report import FailureReport
+
+#: Exit status of a chaos-crashed worker (visible in pool diagnostics).
+CRASH_EXIT_CODE = 66
+
+
+def _cell_slug(workload: str, policy: str) -> str:
+    return hashlib.sha256(f"{workload} x {policy}".encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Worker-side fault schedule (picklable; shipped to pool workers).
+
+    Faults are exactly-once: each fires the first time its cell runs in
+    a worker, recorded via a marker file under ``marker_dir`` so retries
+    (and innocent resubmissions) of the same cell run clean afterwards.
+    A hang only fires once every scheduled crash has already happened —
+    see the module docstring for why the two must be sequenced.
+    """
+
+    marker_dir: str
+    crash_cells: tuple[tuple[str, str], ...] = ()
+    hang_cells: tuple[tuple[str, str], ...] = ()
+    hang_seconds: float = 30.0
+
+    def _marker(self, kind: str, workload: str, policy: str) -> Path:
+        return Path(self.marker_dir) / f"{kind}-{_cell_slug(workload, policy)}"
+
+    def crashes_done(self) -> bool:
+        return all(
+            self._marker("crash", w, p).exists() for w, p in self.crash_cells
+        )
+
+    def apply(self, workload: str, policy: str) -> None:
+        """Inject this cell's scheduled fault, if it has not fired yet."""
+        cell = (workload, policy)
+        if cell in self.crash_cells:
+            marker = self._marker("crash", workload, policy)
+            if not marker.exists():
+                marker.touch()
+                os._exit(CRASH_EXIT_CODE)
+        if cell in self.hang_cells and self.crashes_done():
+            marker = self._marker("hang", workload, policy)
+            if not marker.exists():
+                marker.touch()
+                time.sleep(self.hang_seconds)
+
+
+def _chaos_simulate_cell(
+    plan: ChaosPlan,
+    workload: str,
+    policy: str,
+    trace: Trace,
+    config: MachineConfig,
+    warmup_fraction: float,
+    sanitize: bool,
+    telemetry: object,
+) -> tuple[str, str, object]:
+    """Worker entry point: inject the scheduled fault, then simulate."""
+    plan.apply(workload, policy)
+    result = simulate(
+        trace,
+        config=config,
+        llc_policy=policy,
+        warmup_fraction=warmup_fraction,
+        sanitize=sanitize,
+        telemetry=telemetry,  # type: ignore[arg-type]
+    )
+    return workload, policy, result
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """The full seeded schedule: worker faults plus on-disk faults."""
+
+    seed: int
+    plan: ChaosPlan
+    corrupt_cache_cells: tuple[tuple[str, str], ...]
+    truncate_workload: str
+
+
+def plan_chaos(
+    cells: list[tuple[str, str]],
+    seed: int,
+    marker_dir: str | Path,
+    hang_seconds: float = 30.0,
+) -> ChaosSchedule:
+    """Derive a deterministic fault schedule for ``cells`` from ``seed``.
+
+    One victim cell takes the chained crash-then-hang; a *different*
+    cell's cache entry is corrupted (so the corruption is detected on
+    the cache read path, not shadowed by the worker faults); the
+    truncated-trace leg uses the first workload in the matrix.
+    """
+    if len(cells) < 2:
+        raise ResilienceError(
+            "chaos needs a matrix of at least 2 cells to spread faults over"
+        )
+    rng = random.Random(seed)
+    shuffled = list(cells)
+    rng.shuffle(shuffled)
+    victim, corrupt = shuffled[0], shuffled[1]
+    plan = ChaosPlan(
+        marker_dir=str(marker_dir),
+        crash_cells=(victim,),
+        hang_cells=(victim,),
+        hang_seconds=hang_seconds,
+    )
+    return ChaosSchedule(
+        seed=seed,
+        plan=plan,
+        corrupt_cache_cells=(corrupt,),
+        truncate_workload=cells[0][0],
+    )
+
+
+@dataclass
+class ChaosReport:
+    """What was injected, what was observed, and whether the contract held."""
+
+    seed: int
+    cells: int = 0
+    injected_crashes: int = 0
+    injected_hangs: int = 0
+    injected_corrupt_cache: int = 0
+    injected_truncated_traces: int = 0
+    observed_crash_recoveries: int = 0
+    observed_timeout_recoveries: int = 0
+    observed_quarantined: int = 0
+    trace_fault_error: str = ""
+    bit_identical: bool = False
+    sweep_completed: bool = False
+    failure_report: FailureReport = field(default_factory=FailureReport)
+
+    @property
+    def passed(self) -> bool:
+        """Every injected fault observed, recovered, and results exact."""
+        return (
+            self.sweep_completed
+            and self.bit_identical
+            and self.failure_report.clean
+            and self.observed_crash_recoveries >= self.injected_crashes
+            and self.observed_timeout_recoveries >= self.injected_hangs
+            and self.observed_quarantined >= self.injected_corrupt_cache
+            and (not self.injected_truncated_traces or bool(self.trace_fault_error))
+        )
+
+    def to_json_dict(self) -> dict:
+        doc = {
+            k: getattr(self, k)
+            for k in (
+                "seed", "cells", "injected_crashes", "injected_hangs",
+                "injected_corrupt_cache", "injected_truncated_traces",
+                "observed_crash_recoveries", "observed_timeout_recoveries",
+                "observed_quarantined", "trace_fault_error",
+                "bit_identical", "sweep_completed",
+            )
+        }
+        doc["passed"] = self.passed
+        doc["failure_report"] = self.failure_report.to_json_dict()
+        return doc
+
+    def render(self) -> str:
+        check = "ok" if self.passed else "FAILED"
+        lines = [
+            f"chaos (seed {self.seed}) over {self.cells} cells: {check}",
+            f"  worker crashes:   {self.injected_crashes} injected, "
+            f"{self.observed_crash_recoveries} recovered",
+            f"  hangs/timeouts:   {self.injected_hangs} injected, "
+            f"{self.observed_timeout_recoveries} recovered",
+            f"  corrupt cache:    {self.injected_corrupt_cache} injected, "
+            f"{self.observed_quarantined} quarantined",
+            f"  truncated traces: {self.injected_truncated_traces} injected, "
+            + (f"raised {self.trace_fault_error}" if self.trace_fault_error
+               else "NOT detected"),
+            f"  sweep completed:  {self.sweep_completed}; "
+            f"results bit-identical to fault-free baseline: {self.bit_identical}",
+            "",
+            self.failure_report.render(),
+        ]
+        return "\n".join(lines)
+
+
+def run_chaos(
+    seed: int = 0,
+    kernels: tuple[str, ...] = ("bfs", "pr"),
+    policies: tuple[str, ...] = ("lru", "srrip"),
+    scale: int = 10,
+    degree: int = 8,
+    max_accesses: int = 20_000,
+    jobs: int = 2,
+    retry: RetryPolicy | None = None,
+    config: MachineConfig | None = None,
+    work_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ChaosReport:
+    """Run the seeded fault-injection harness over a small GAP matrix.
+
+    Returns a :class:`ChaosReport`; ``report.passed`` is the contract.
+    ``work_dir`` (default: a fresh temp directory) holds the scratch
+    cache, fault markers and the truncated-trace scratch file.
+    """
+    from ..gap.suite import gap_suite
+    from ..harness.engine import SweepEngine, cell_key
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    if retry is None:
+        retry = RetryPolicy(
+            max_attempts=3,
+            cell_timeout=10.0,
+            backoff_base=0.05,
+            backoff_max=1.0,
+            seed=seed,
+        )
+    if retry.cell_timeout is None:
+        raise ResilienceError("chaos requires a RetryPolicy with cell_timeout set")
+    if config is None:
+        config = small_test_machine()
+    root = Path(work_dir) if work_dir else Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    marker_dir = root / "markers"
+    marker_dir.mkdir(parents=True, exist_ok=True)
+
+    say(f"building {len(kernels)} GAP traces (scale {scale}) ...")
+    traces = gap_suite(scale=scale, degree=degree, kernels=kernels,
+                       max_accesses=max_accesses)
+    cells = [(w, p) for w in traces for p in policies]
+    schedule = plan_chaos(
+        cells, seed=seed, marker_dir=marker_dir,
+        hang_seconds=max(30.0, retry.cell_timeout * 4),
+    )
+    report = ChaosReport(
+        seed=seed,
+        cells=len(cells),
+        injected_crashes=len(schedule.plan.crash_cells),
+        injected_hangs=len(schedule.plan.hang_cells),
+        injected_corrupt_cache=len(schedule.corrupt_cache_cells),
+        injected_truncated_traces=1,
+    )
+
+    # Leg 1: a truncated trace file must fail with a structured error.
+    say("injecting truncated trace ...")
+    scratch = save_trace(traces[schedule.truncate_workload], root / "chaos_trace.npz")
+    payload = scratch.read_bytes()
+    scratch.write_bytes(payload[: int(len(payload) * 0.6)])
+    try:
+        load_trace(scratch)
+    except TraceFormatError as exc:
+        report.trace_fault_error = f"{type(exc).__name__}: {exc}"
+    # any other exception type escapes: that is exactly the bug this
+    # harness exists to catch.
+
+    # Leg 2: fault-free baseline (serial, uncached) for bit-identity.
+    say("running fault-free baseline sweep ...")
+    baseline = SweepEngine(jobs=1).run(traces, list(policies), config=config)
+
+    # Leg 3: pre-populate and corrupt the scheduled cache entries.
+    engine = SweepEngine(cache_dir=root / "cache", jobs=jobs)
+    assert engine.cache is not None
+    for workload, policy in schedule.corrupt_cache_cells:
+        say(f"corrupting cache entry of {workload} x {policy} ...")
+        engine.run({workload: traces[workload]}, [policy], config=config)
+        key = cell_key(
+            traces[workload], policy, config, DEFAULT_WARMUP_FRACTION,
+            salt=engine.salt,
+        )
+        entry = engine.cache.path_for(key)
+        doc = json.loads(entry.read_text(encoding="utf-8"))
+        doc["result"]["__chaos_corruption__"] = True  # checksum now stale
+        entry.write_text(json.dumps(doc), encoding="utf-8")
+
+    # Leg 4: the chaos sweep itself.
+    say(f"running chaos sweep ({jobs} jobs, "
+        f"cell timeout {retry.cell_timeout:g}s) ...")
+    outcome = engine.run(
+        traces, list(policies), config=config,
+        isolate_failures=True, retry=retry, chaos=schedule.plan,
+    )
+    assert outcome.failure_report is not None
+    report.failure_report = outcome.failure_report
+    report.sweep_completed = not outcome.errors and all(
+        p in outcome.matrix.results.get(w, {}) for w, p in cells
+    )
+    report.bit_identical = outcome.matrix.results == baseline.matrix.results
+    report.observed_quarantined = outcome.failure_report.quarantined_cache_entries
+
+    recovered = {
+        (h.workload, h.policy)
+        for h in outcome.failure_report.recovered
+    }
+    report.observed_crash_recoveries = sum(
+        1 for cell in schedule.plan.crash_cells
+        if cell in recovered and any(
+            a.error_type == "BrokenProcessPool"
+            for a in outcome.failure_report.cells[cell].attempts
+        )
+    )
+    report.observed_timeout_recoveries = sum(
+        1 for cell in schedule.plan.hang_cells
+        if cell in recovered and any(
+            a.error_type == "CellTimeoutError"
+            for a in outcome.failure_report.cells[cell].attempts
+        )
+    )
+    return report

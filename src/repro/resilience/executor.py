@@ -1,0 +1,324 @@
+"""Fault-tolerant execution of sweep cells.
+
+:class:`ResilientExecutor` is the engine's execution loop when a
+:class:`~repro.resilience.policy.RetryPolicy` (or chaos plan) is armed.
+It owns three recovery mechanisms the plain executor lacks:
+
+* **Retry with deterministic backoff** — transient failures are retried
+  up to ``max_attempts`` with exponential backoff and seeded jitter;
+  deterministic failures fail fast.
+* **Watchdog timeouts** — each in-flight cell carries a wall-clock
+  deadline. A cell that blows it has its worker pool torn down (a hung
+  worker cannot be cancelled politely), is charged a strike, and is
+  retried; innocent in-flight cells are resubmitted at the *same*
+  attempt number with no penalty.
+* **``BrokenProcessPool`` recovery** — a worker dying (OOM killer,
+  ``os._exit``, segfault) breaks the whole ``ProcessPoolExecutor``. The
+  executor rebuilds the pool, charges a strike to every cell whose
+  future died with it (the culprit cannot be singled out post-mortem;
+  innocents rotate, so spurious strikes do not accumulate on any one
+  cell), and resubmits. A cell that keeps killing workers past
+  ``poison_strikes`` is marked **poison** and abandoned so the rest of
+  the matrix can finish.
+
+Submission is bounded to the worker count, so every in-flight future is
+actually running — deadlines measure real wall-clock execution, and a
+pool break never charges strikes to cells that were still queued.
+
+Every absorbed failure lands in the shared
+:class:`~repro.resilience.report.FailureReport`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+import traceback as traceback_module
+from collections import deque
+from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from ..errors import CellTimeoutError
+from .policy import FailureKind, RetryPolicy, classify_failure
+from .report import (
+    OUTCOME_FAILED,
+    OUTCOME_POISONED,
+    OUTCOME_RECOVERED,
+    CellAttempt,
+    FailureReport,
+)
+
+#: Floor on the wait() slice so a pathological deadline spread cannot
+#: degenerate into a busy loop.
+_MIN_WAIT = 0.01
+
+
+@dataclass
+class _CellState:
+    """Mutable per-cell bookkeeping while the sweep is in flight."""
+
+    workload: str
+    policy: str
+    attempt: int = 1
+    strikes: int = 0  # worker-killing faults (pool breaks, timeouts)
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.workload} x {self.policy}"
+
+
+class ResilientExecutor:
+    """Runs sweep cells under a :class:`RetryPolicy`.
+
+    Parameters
+    ----------
+    retry:
+        The retry/timeout/backoff policy.
+    workers:
+        Worker processes for the pool path (``run_pool``).
+    submit:
+        ``submit(pool, workload, policy, attempt) -> Future`` — builds
+        the worker call for one attempt of one cell.
+    run_inline:
+        ``run_inline(workload, policy, attempt) -> result`` — the serial
+        in-process equivalent (``run_serial``).
+    on_success:
+        Called with ``(workload, policy, result)`` for every finished
+        cell.
+    on_failure:
+        Called with ``(workload, policy, exc, kind)`` when a cell is
+        abandoned (retries exhausted, deterministic, or poison). May
+        raise to abort the sweep; the executor then tears the pool down.
+    report:
+        Shared :class:`FailureReport` receiving every absorbed attempt.
+    """
+
+    def __init__(
+        self,
+        retry: RetryPolicy,
+        workers: int,
+        submit: Callable[[ProcessPoolExecutor, str, str, int], Future],
+        run_inline: Callable[[str, str, int], object],
+        on_success: Callable[[str, str, object], None],
+        on_failure: Callable[[str, str, BaseException, FailureKind], None],
+        report: FailureReport,
+    ) -> None:
+        self.retry = retry
+        self.workers = max(1, workers)
+        self.submit = submit
+        self.run_inline = run_inline
+        self.on_success = on_success
+        self.on_failure = on_failure
+        self.report = report
+
+    # -- shared bookkeeping -------------------------------------------------
+
+    def _succeed(self, cell: _CellState, result: object) -> None:
+        if (cell.workload, cell.policy) in self.report.cells:
+            self.report.record_outcome(cell.workload, cell.policy, OUTCOME_RECOVERED)
+        self.on_success(cell.workload, cell.policy, result)
+
+    def _absorb(
+        self,
+        cell: _CellState,
+        exc: BaseException,
+        duration: float,
+        strike: bool,
+        reschedule: Callable[[_CellState, float], None],
+    ) -> None:
+        """Classify one failed attempt; retry, or abandon the cell."""
+        kind = classify_failure(exc)
+        if strike:
+            cell.strikes += 1
+            if kind is FailureKind.TRANSIENT and cell.strikes >= self.retry.poison_strikes:
+                kind = FailureKind.POISON
+        retrying = self.retry.should_retry(kind, cell.attempt)
+        backoff = self.retry.backoff_for(cell.cell_id, cell.attempt) if retrying else 0.0
+        self.report.record_attempt(
+            cell.workload,
+            cell.policy,
+            CellAttempt(
+                attempt=cell.attempt,
+                classification=kind.value,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback="".join(
+                    traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+                duration=duration,
+                backoff=backoff,
+            ),
+        )
+        if retrying:
+            cell.attempt += 1
+            reschedule(cell, backoff)
+            return
+        outcome = OUTCOME_POISONED if kind is FailureKind.POISON else OUTCOME_FAILED
+        self.report.record_outcome(cell.workload, cell.policy, outcome)
+        self.on_failure(cell.workload, cell.policy, exc, kind)
+
+    # -- serial path --------------------------------------------------------
+
+    def run_serial(self, cells: Iterable[tuple[str, str]]) -> None:
+        """Retry loop without a pool (no timeout enforcement possible).
+
+        The engine routes timeout-armed or chaos-armed sweeps to
+        :meth:`run_pool` even at ``jobs=1``; this path covers plain
+        retry/classification where in-process execution keeps unit
+        sweeps hermetic.
+        """
+        for workload, policy in cells:
+            cell = _CellState(workload, policy)
+            while True:
+                started = time.monotonic()
+                try:
+                    result = self.run_inline(cell.workload, cell.policy, cell.attempt)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    retry_delay: list[float] = []
+                    self._absorb(
+                        cell,
+                        exc,
+                        duration=time.monotonic() - started,
+                        strike=False,
+                        reschedule=lambda _cell, backoff: retry_delay.append(backoff),
+                    )
+                    if not retry_delay:
+                        break  # abandoned (on_failure already ran)
+                    time.sleep(retry_delay[0])
+                else:
+                    self._succeed(cell, result)
+                    break
+
+    # -- pool path ----------------------------------------------------------
+
+    def run_pool(self, cells: Iterable[tuple[str, str]]) -> None:
+        """Fan cells over a process pool with watchdog + rebuild."""
+        timeout = self.retry.cell_timeout
+        seq = itertools.count()  # heap tie-breaker
+        queue: deque[_CellState] = deque(_CellState(w, p) for w, p in cells)
+        delayed: list[tuple[float, int, _CellState]] = []  # backoff heap
+        inflight: dict[Future, tuple[_CellState, float, float]] = {}  # start, deadline
+        pool: ProcessPoolExecutor | None = None
+
+        def reschedule(cell: _CellState, backoff: float) -> None:
+            heapq.heappush(delayed, (time.monotonic() + backoff, next(seq), cell))
+
+        try:
+            while queue or delayed or inflight:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    queue.append(heapq.heappop(delayed)[2])
+                while queue and len(inflight) < self.workers:
+                    cell = queue.popleft()
+                    if pool is None:
+                        pool = ProcessPoolExecutor(max_workers=self.workers)
+                    future = self.submit(pool, cell.workload, cell.policy, cell.attempt)
+                    started = time.monotonic()
+                    deadline = float("inf") if timeout is None else started + timeout
+                    inflight[future] = (cell, started, deadline)
+
+                if not inflight:
+                    if delayed:  # everything is backing off
+                        time.sleep(max(_MIN_WAIT, delayed[0][0] - time.monotonic()))
+                    continue
+
+                done, _ = wait(
+                    set(inflight),
+                    timeout=self._wait_slice(inflight, delayed),
+                    return_when=FIRST_COMPLETED,
+                )
+
+                pool_broke = False
+                for future in done:
+                    cell, started, _ = inflight.pop(future)
+                    duration = time.monotonic() - started
+                    try:
+                        result = future.result()
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BrokenProcessPool as exc:
+                        pool_broke = True
+                        self._absorb(cell, exc, duration, strike=True,
+                                     reschedule=reschedule)
+                    except Exception as exc:
+                        self._absorb(cell, exc, duration, strike=False,
+                                     reschedule=reschedule)
+                    else:
+                        self._succeed(cell, result)
+
+                if pool_broke:
+                    pool = self._recycle_pool(pool, inflight, queue, kill=False)
+                    continue
+
+                if timeout is not None:
+                    now = time.monotonic()
+                    expired = [f for f, (_, _, dl) in inflight.items() if dl <= now]
+                    for future in expired:
+                        cell, started, _ = inflight.pop(future)
+                        exc = CellTimeoutError(
+                            f"cell {cell.cell_id} exceeded its {timeout:g}s "
+                            f"wall-clock budget (attempt {cell.attempt})"
+                        )
+                        self._absorb(cell, exc, now - started, strike=True,
+                                     reschedule=reschedule)
+                    if expired:
+                        # The hung worker cannot be cancelled; kill the
+                        # pool and resubmit the innocent in-flight cells
+                        # at the same attempt with no penalty.
+                        pool = self._recycle_pool(pool, inflight, queue, kill=True)
+        finally:
+            if pool is not None:
+                self._shutdown_pool(pool, kill=True)
+
+    @staticmethod
+    def _wait_slice(
+        inflight: dict[Future, tuple[_CellState, float, float]],
+        delayed: list[tuple[float, int, _CellState]],
+    ) -> float | None:
+        """How long wait() may block before a deadline or backoff expiry."""
+        now = time.monotonic()
+        horizon = min(deadline for _, _, deadline in inflight.values())
+        if delayed:
+            horizon = min(horizon, delayed[0][0])
+        if horizon == float("inf"):
+            return None
+        return max(_MIN_WAIT, horizon - now)
+
+    def _recycle_pool(
+        self,
+        pool: ProcessPoolExecutor | None,
+        inflight: dict[Future, tuple[_CellState, float, float]],
+        queue: deque[_CellState],
+        kill: bool,
+    ) -> None:
+        """Tear the pool down and resubmit innocent in-flight cells.
+
+        Cells still in ``inflight`` were victims of the teardown, not
+        its cause — they rejoin the queue at the same attempt number.
+        """
+        survivors = [cell for cell, _, _ in inflight.values()]
+        inflight.clear()
+        queue.extend(survivors)
+        if pool is not None:
+            self._shutdown_pool(pool, kill=kill)
+            self.report.pool_rebuilds += 1
+        return None
+
+    @staticmethod
+    def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
+        if kill:
+            # Hung workers ignore a polite shutdown; terminate them.
+            # ``_processes`` is CPython-private but stable since 3.7 and
+            # the only handle on the worker PIDs; degrade to a plain
+            # shutdown if it ever disappears.
+            try:
+                for process in list(pool._processes.values()):
+                    process.terminate()
+            except (AttributeError, OSError):  # pragma: no cover - fallback
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,186 @@
+"""Structured failure accounting for resilient sweeps.
+
+Every retry, timeout, worker death and quarantined cache entry that a
+sweep absorbs is recorded here, per cell and per attempt. The report
+rides the sweep result (``RunMatrix.failure_report`` /
+``SweepOutcome.failure_report``) so callers can audit exactly what the
+resilience layer did — the chaos harness asserts against it, ``repro
+sweep``/``repro chaos`` render it, and CI fails the chaos smoke unless
+it comes back clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .policy import FailureKind
+
+#: Terminal states of a cell that failed at least once.
+OUTCOME_RECOVERED = "recovered"
+OUTCOME_FAILED = "failed"
+OUTCOME_POISONED = "poisoned"
+
+
+@dataclass
+class CellAttempt:
+    """One failed attempt at one cell."""
+
+    attempt: int
+    classification: str  # a FailureKind value
+    error_type: str
+    message: str
+    traceback: str = ""
+    duration: float = 0.0  # seconds the attempt ran before failing
+    backoff: float = 0.0  # delay scheduled before the next attempt (0 = none)
+
+
+@dataclass
+class CellHistory:
+    """Every failed attempt of one cell, plus how the cell ended up."""
+
+    workload: str
+    policy: str
+    attempts: list[CellAttempt] = field(default_factory=list)
+    outcome: str = OUTCOME_FAILED
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.workload} x {self.policy}"
+
+    @property
+    def last(self) -> CellAttempt:
+        return self.attempts[-1]
+
+
+@dataclass
+class FailureReport:
+    """What the resilience layer absorbed during one sweep.
+
+    Cells that succeed first try never appear here; ``clean`` means
+    every cell that *did* fail was recovered by a retry.
+    """
+
+    cells: dict[tuple[str, str], CellHistory] = field(default_factory=dict)
+    quarantined_cache_entries: int = 0
+    pool_rebuilds: int = 0
+
+    def history(self, workload: str, policy: str) -> CellHistory:
+        key = (workload, policy)
+        if key not in self.cells:
+            self.cells[key] = CellHistory(workload=workload, policy=policy)
+        return self.cells[key]
+
+    def record_attempt(self, workload: str, policy: str, attempt: CellAttempt) -> None:
+        self.history(workload, policy).attempts.append(attempt)
+
+    def record_outcome(self, workload: str, policy: str, outcome: str) -> None:
+        self.history(workload, policy).outcome = outcome
+
+    # -- aggregates ---------------------------------------------------------
+
+    def _with_outcome(self, outcome: str) -> list[CellHistory]:
+        return [h for h in self.cells.values() if h.outcome == outcome]
+
+    @property
+    def recovered(self) -> list[CellHistory]:
+        return self._with_outcome(OUTCOME_RECOVERED)
+
+    @property
+    def failed(self) -> list[CellHistory]:
+        return self._with_outcome(OUTCOME_FAILED)
+
+    @property
+    def poisoned(self) -> list[CellHistory]:
+        return self._with_outcome(OUTCOME_POISONED)
+
+    @property
+    def total_failed_attempts(self) -> int:
+        return sum(len(h.attempts) for h in self.cells.values())
+
+    def attempts_of_kind(self, kind: FailureKind | str) -> list[CellAttempt]:
+        """Every recorded attempt with the given classification."""
+        value = kind.value if isinstance(kind, FailureKind) else kind
+        return [
+            a for h in self.cells.values() for a in h.attempts
+            if a.classification == value
+        ]
+
+    def attempts_with_error(self, error_type: str) -> list[CellAttempt]:
+        """Every recorded attempt that failed with ``error_type``."""
+        return [
+            a for h in self.cells.values() for a in h.attempts
+            if a.error_type == error_type
+        ]
+
+    @property
+    def clean(self) -> bool:
+        """True when every failure the sweep hit was recovered."""
+        return not self.failed and not self.poisoned
+
+    # -- serialization / rendering ------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "quarantined_cache_entries": self.quarantined_cache_entries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "cells": [
+                {
+                    "workload": h.workload,
+                    "policy": h.policy,
+                    "outcome": h.outcome,
+                    "attempts": [
+                        {
+                            "attempt": a.attempt,
+                            "classification": a.classification,
+                            "error_type": a.error_type,
+                            "message": a.message,
+                            "duration": a.duration,
+                            "backoff": a.backoff,
+                        }
+                        for a in h.attempts
+                    ],
+                }
+                for h in self.cells.values()
+            ],
+        }
+
+    def render(self, markdown: bool = False) -> str:
+        """Human-readable summary (one row per affected cell)."""
+        if not self.cells and not self.quarantined_cache_entries:
+            return "failure report: clean (no failures absorbed)"
+
+        headers = ["cell", "attempts", "classification", "outcome", "last error"]
+        rows = []
+        for history in self.cells.values():
+            last = history.last if history.attempts else None
+            rows.append([
+                history.cell_id,
+                str(len(history.attempts)),
+                last.classification if last else "-",
+                history.outcome,
+                f"{last.error_type}: {last.message}"[:60] if last else "-",
+            ])
+
+        summary = (
+            f"{len(self.cells)} cell(s) failed at least once: "
+            f"{len(self.recovered)} recovered, {len(self.failed)} failed, "
+            f"{len(self.poisoned)} poisoned; "
+            f"{self.total_failed_attempts} failed attempt(s), "
+            f"{self.pool_rebuilds} pool rebuild(s), "
+            f"{self.quarantined_cache_entries} cache entr(ies) quarantined"
+        )
+
+        if markdown:
+            lines = [
+                "| " + " | ".join(headers) + " |",
+                "| " + " | ".join("---" for _ in headers) + " |",
+            ]
+            lines.extend("| " + " | ".join(row) + " |" for row in rows)
+            return "\n".join(["### Failure report", "", summary, "", *lines])
+
+        from ..analysis.tables import format_table
+
+        parts = [summary]
+        if rows:
+            parts.append(format_table(headers, rows, title="failure report"))
+        return "\n".join(parts)

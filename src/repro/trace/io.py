@@ -2,12 +2,20 @@
 
 Traces are stored as ``.npz`` archives holding the structured record array
 plus a small JSON metadata blob. The format is versioned so that future
-layout changes fail loudly instead of silently mis-decoding.
+layout changes fail loudly instead of silently mis-decoding, and (since
+format version 2) carries a SHA-256 **payload checksum** of the record
+bytes so that a truncated or bit-rotted archive raises a structured
+:class:`~repro.errors.TraceFormatError` — naming the file and the
+problem — instead of surfacing as a numpy/zipfile stack trace deep in a
+sweep. Version-1 files (no checksum) remain readable.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -16,7 +24,19 @@ from ..errors import TraceFormatError
 from .record import TRACE_DTYPE
 from .trace import Trace
 
-FORMAT_VERSION = 1
+#: v2 added ``payload_sha256`` to the metadata; v1 files are still read.
+FORMAT_VERSION = 2
+
+#: Oldest format version :func:`load_trace` still accepts.
+OLDEST_READABLE_VERSION = 1
+
+#: Metadata keys every trace file must carry, whatever its version.
+REQUIRED_META_KEYS = ("version", "name", "info")
+
+
+def payload_checksum(records: np.ndarray) -> str:
+    """SHA-256 over the raw record bytes (the integrity-checked payload)."""
+    return hashlib.sha256(np.ascontiguousarray(records).tobytes()).hexdigest()
 
 
 def save_trace(trace: Trace, path: str | Path) -> Path:
@@ -31,6 +51,7 @@ def save_trace(trace: Trace, path: str | Path) -> Path:
         "version": FORMAT_VERSION,
         "name": trace.name,
         "info": trace.info,
+        "payload_sha256": payload_checksum(trace.records),
     }
     with open(path, "wb") as f:
         np.savez_compressed(
@@ -41,8 +62,29 @@ def save_trace(trace: Trace, path: str | Path) -> Path:
     return path
 
 
+def _validate_meta(meta: object, path: Path) -> dict:
+    """The metadata dict, or a :class:`TraceFormatError` naming what's wrong."""
+    if not isinstance(meta, dict):
+        raise TraceFormatError(
+            f"{path}: trace metadata is {type(meta).__name__}, expected an object"
+        )
+    missing = [key for key in REQUIRED_META_KEYS if key not in meta]
+    if missing:
+        raise TraceFormatError(
+            f"{path}: trace metadata missing required keys: {', '.join(missing)}"
+        )
+    return meta
+
+
 def load_trace(path: str | Path) -> Trace:
-    """Read a trace previously written by :func:`save_trace`."""
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises :class:`~repro.errors.TraceFormatError` — never a raw
+    numpy/zipfile/zlib exception — for every way a file can be wrong:
+    unreadable, truncated, not a trace archive, metadata missing
+    required keys, unsupported version, dtype mismatch, or (format >= 2)
+    a payload checksum mismatch.
+    """
     path = Path(path)
     try:
         with np.load(path) as data:
@@ -50,20 +92,40 @@ def load_trace(path: str | Path) -> Trace:
                 raise TraceFormatError(f"{path}: not a repro trace file")
             records = data["records"]
             meta_bytes = bytes(data["meta"].tobytes())
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile, zlib.error) as exc:
+        # A truncated .npz can fail at any of these layers depending on
+        # where the bytes run out (zip directory, member header, deflate
+        # stream, npy header); unify them into one structured error.
         raise TraceFormatError(f"{path}: cannot read trace file: {exc}") from exc
     try:
         meta = json.loads(meta_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise TraceFormatError(f"{path}: corrupt metadata: {exc}") from exc
-    version = meta.get("version")
-    if version != FORMAT_VERSION:
+    meta = _validate_meta(meta, path)
+    version = meta["version"]
+    if not (
+        isinstance(version, int)
+        and OLDEST_READABLE_VERSION <= version <= FORMAT_VERSION
+    ):
         raise TraceFormatError(
-            f"{path}: unsupported trace format version {version} "
-            f"(this library reads version {FORMAT_VERSION})"
+            f"{path}: unsupported trace format version {version} (this library "
+            f"reads versions {OLDEST_READABLE_VERSION}..{FORMAT_VERSION})"
         )
     if records.dtype != TRACE_DTYPE:
         raise TraceFormatError(
             f"{path}: record dtype {records.dtype} does not match TRACE_DTYPE"
         )
-    return Trace(records, name=meta.get("name", path.stem), info=meta.get("info"))
+    if version >= 2:
+        expected = meta.get("payload_sha256")
+        if not expected:
+            raise TraceFormatError(
+                f"{path}: trace metadata missing required keys: payload_sha256 "
+                f"(mandatory since format version 2)"
+            )
+        actual = payload_checksum(records)
+        if actual != expected:
+            raise TraceFormatError(
+                f"{path}: payload checksum mismatch (stored {expected[:12]}..., "
+                f"recomputed {actual[:12]}...); the file is truncated or corrupt"
+            )
+    return Trace(records, name=meta["name"], info=meta["info"])

@@ -1,12 +1,30 @@
 """Round-trip and error-path tests for trace persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.errors import TraceFormatError
-from repro.trace.io import FORMAT_VERSION, load_trace, save_trace
+from repro.trace.io import (
+    FORMAT_VERSION,
+    load_trace,
+    payload_checksum,
+    save_trace,
+)
 
 from conftest import make_trace
+
+
+def write_raw_npz(path, records, meta):
+    """Assemble a trace archive by hand, bypassing save_trace's meta."""
+    with open(path, "wb") as f:
+        np.savez(
+            f,
+            records=records,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+    return path
 
 
 class TestRoundTrip:
@@ -51,16 +69,74 @@ class TestErrorPaths:
             load_trace(path)
 
     def test_version_is_checked(self, tmp_path):
-        import json
-
         t = make_trace([0])
         meta = {"version": FORMAT_VERSION + 1, "name": "x", "info": {}}
-        path = tmp_path / "future.npz"
+        path = write_raw_npz(tmp_path / "future.npz", t.records, meta)
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(path)
+
+
+class TestIntegrity:
+    def test_saved_trace_carries_payload_checksum(self, tmp_path):
+        t = make_trace([0, 64, 128])
+        path = save_trace(t, tmp_path / "t")
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        assert meta["version"] == FORMAT_VERSION
+        assert meta["payload_sha256"] == payload_checksum(t.records)
+
+    def test_truncated_file_raises_structured_error(self, tmp_path):
+        path = save_trace(make_trace(list(range(0, 64 * 500, 64))), tmp_path / "t")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: int(len(blob) * 0.6)])
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_tampered_payload_detected(self, tmp_path):
+        t = make_trace([0, 64, 128])
+        meta = {
+            "version": FORMAT_VERSION,
+            "name": t.name,
+            "info": t.info,
+            # checksum of *different* records than the ones stored
+            "payload_sha256": payload_checksum(make_trace([1, 2, 3]).records),
+        }
+        path = write_raw_npz(tmp_path / "t.npz", t.records, meta)
+        with pytest.raises(TraceFormatError, match="payload checksum mismatch"):
+            load_trace(path)
+
+    def test_v1_file_without_checksum_still_loads(self, tmp_path):
+        t = make_trace([0, 64], name="legacy")
+        meta = {"version": 1, "name": "legacy", "info": {}}
+        path = write_raw_npz(tmp_path / "v1.npz", t.records, meta)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.records, t.records)
+        assert loaded.name == "legacy"
+
+    def test_v2_file_missing_checksum_rejected(self, tmp_path):
+        t = make_trace([0])
+        meta = {"version": FORMAT_VERSION, "name": "x", "info": {}}
+        path = write_raw_npz(tmp_path / "bad.npz", t.records, meta)
+        with pytest.raises(TraceFormatError, match="payload_sha256"):
+            load_trace(path)
+
+    def test_meta_missing_required_keys_listed(self, tmp_path):
+        t = make_trace([0])
+        meta = {"version": FORMAT_VERSION}
+        path = write_raw_npz(tmp_path / "bad.npz", t.records, meta)
+        with pytest.raises(TraceFormatError, match="name, info") as excinfo:
+            load_trace(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_meta_not_an_object_rejected(self, tmp_path):
+        t = make_trace([0])
+        path = tmp_path / "bad.npz"
         with open(path, "wb") as f:
             np.savez(
                 f,
                 records=t.records,
-                meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+                meta=np.frombuffer(json.dumps([1, 2]).encode(), dtype=np.uint8),
             )
-        with pytest.raises(TraceFormatError, match="version"):
+        with pytest.raises(TraceFormatError, match="expected an object"):
             load_trace(path)

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples experiments lint typecheck clean
+.PHONY: install test bench bench-smoke examples experiments lint typecheck check clean
 
 install:
 	pip install -e .[dev]
@@ -39,9 +39,10 @@ experiments:
 	$(PYTHON) -m repro experiment table1
 	$(PYTHON) -m repro experiment e11
 
-# Policy-contract analyzer (always available) + ruff (if installed).
+# Whole-program static analyzer (always available, baseline-gated, same
+# strictness as the CI `lint` job) + ruff (if installed).
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro lint
+	PYTHONPATH=src $(PYTHON) -m repro lint --strict
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
 	else \
@@ -54,6 +55,10 @@ typecheck:
 	else \
 		echo "mypy not installed; skipping type checks (CI runs them)"; \
 	fi
+
+# Everything CI gates on short of the test matrix: repro lint --strict,
+# ruff and mypy (the latter two when installed).
+check: lint typecheck
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks

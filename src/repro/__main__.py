@@ -301,9 +301,42 @@ def _sanitize_selftest() -> int:
     return checks
 
 
+def _resolve_baseline(args: argparse.Namespace) -> Path | None:
+    """The baseline file to apply, honouring --baseline/--no-baseline.
+
+    The default baseline describes the whole tree, so it is only picked
+    up implicitly on full-tree runs; linting explicit paths applies it
+    only when ``--baseline`` names it.
+    """
+    if args.no_baseline:
+        return None
+    from .lint import DEFAULT_BASELINE_NAME
+
+    if args.baseline:
+        path = Path(args.baseline)
+        if not path.is_file():
+            raise ReproError(f"baseline file not found: {path}")
+        return path
+    if args.paths:
+        return None
+    default = Path(DEFAULT_BASELINE_NAME)
+    return default if default.is_file() else None
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the static analyzer (and optionally the sanitizer selftest)."""
-    from .lint import Severity, available_rules, lint_paths, lint_tree, make_rule
+    from .lint import (
+        Severity,
+        apply_baseline,
+        available_rules,
+        lint_paths,
+        lint_tree,
+        make_rule,
+        parse_baseline,
+        render_json,
+        render_markdown,
+        render_text,
+    )
 
     if args.list_rules:
         for name in available_rules():
@@ -317,11 +350,30 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         findings = lint_tree(rules=rules)
 
-    for finding in findings:
-        print(finding.render())
+    suppressed = 0
+    baseline_path = _resolve_baseline(args)
+    if baseline_path is not None:
+        entries = parse_baseline(baseline_path)
+        findings, suppressed = apply_baseline(findings, entries, baseline_path)
+
+    if args.format == "json":
+        print(render_json(findings, suppressed=suppressed))
+    elif args.format == "markdown":
+        print(render_markdown(findings, suppressed=suppressed))
+    elif findings:
+        print(render_text(findings))
     errors = sum(1 for f in findings if f.severity >= Severity.ERROR)
-    warnings = len(findings) - errors
-    print(f"lint: {errors} error(s), {warnings} warning(s)", file=sys.stderr)
+    warnings = sum(1 for f in findings if f.severity == Severity.WARNING)
+    print(
+        f"lint: {errors} error(s), {warnings} warning(s), "
+        f"{suppressed} baselined",
+        file=sys.stderr,
+    )
+
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if args.strict and step_summary:
+        with open(step_summary, "a", encoding="utf-8") as fh:
+            fh.write(render_markdown(findings, suppressed=suppressed) + "\n")
 
     rc = 0
     if errors or (args.strict and warnings):
@@ -443,16 +495,41 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_lint = sub.add_parser(
-        "lint", help="policy-contract static analyzer + invariant sanitizer")
+        "lint",
+        help="whole-program static analyzer + invariant sanitizer",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  clean: no error-severity findings survived the baseline\n"
+            "     (info-severity findings never fail a run)\n"
+            "  1  error-severity findings present — including expired\n"
+            "     baseline entries that still match; with --strict,\n"
+            "     surviving warnings fail too\n"
+            "\n"
+            "See docs/linting.md for the analysis passes and the baseline "
+            "format."
+        ),
+    )
     p_lint.add_argument("paths", nargs="*",
                         help="files/directories to lint (default: the live "
-                             "repro package plus registry checks)")
+                             "repro package plus registry/engine checks)")
     p_lint.add_argument("--rules", nargs="*", metavar="RULE",
                         help="subset of rules to run (default: all)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
     p_lint.add_argument("--strict", action="store_true",
-                        help="exit non-zero on warnings too")
+                        help="exit non-zero on warnings too (the CI gate)")
+    p_lint.add_argument("--format", choices=["text", "json", "markdown"],
+                        default="text",
+                        help="output format (default: text); --strict runs "
+                             "also append the markdown summary to "
+                             "$GITHUB_STEP_SUMMARY when it is set")
+    p_lint.add_argument("--baseline", metavar="PATH",
+                        help="baseline file of accepted findings (default "
+                             "for full-tree runs: lint-baseline.txt in the "
+                             "working directory, if present)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
     p_lint.add_argument("--sanitize-selftest", action="store_true",
                         help="also run the paper policies over synthetic "
                              "traces with the runtime sanitizer armed")

@@ -51,6 +51,11 @@ class RecordingLRUPolicy(LRUPolicy):
         self.recorded.append(access.block)
         super().on_fill(set_index, way, access)
 
+    def snapshot_state(self) -> dict[str, object]:
+        state = super().snapshot_state()
+        state["recorded_accesses"] = len(self.recorded)
+        return state
+
 
 def record_llc_stream(
     trace: Trace,

@@ -36,7 +36,6 @@ import traceback as traceback_module
 import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from functools import lru_cache
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
@@ -66,40 +65,116 @@ CACHE_ENTRY_VERSION = 2
 #: path treats it as a miss.
 QUARANTINE_DIR = "quarantine"
 
-#: Subpackages whose source text defines simulation semantics: any edit
-#: to them must invalidate cached results. Telemetry is included because
-#: its profile rides inside ``result.info`` of telemetry-armed cells.
-SALT_SOURCE_PACKAGES = ("core", "mem", "policies", "telemetry")
+#: Packages (and single ``.py`` modules, path-relative to the package
+#: root) whose source text defines simulation semantics: any edit to
+#: them must invalidate cached results. The list must cover the runtime
+#: import closure of the simulation entry points — the ``salt-closure``
+#: lint pass verifies that statically. Telemetry is included because its
+#: profile rides inside ``result.info`` of telemetry-armed cells;
+#: ``trace`` because record decoding and kind numbering are semantics;
+#: ``errors.py`` and ``lint/sanitize.py`` because the simulator imports
+#: them at runtime.
+SALT_SOURCE_PACKAGES = (
+    "core",
+    "mem",
+    "policies",
+    "telemetry",
+    "trace",
+    "errors.py",
+    "lint/sanitize.py",
+)
 
 #: Environment variables the default engine is configured from.
 ENV_JOBS = "REPRO_JOBS"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 
-@lru_cache(maxsize=1)
+def _salt_root() -> Path:
+    """The package directory the salt sources are resolved against."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def salt_source_files(root: Path | None = None) -> list[Path]:
+    """Every source file the simulator-version salt is computed over.
+
+    Resolves :data:`SALT_SOURCE_PACKAGES` against the package root:
+    plain entries are packages (all ``.py`` files underneath, sorted),
+    ``.py`` entries are single modules. Missing entries yield no files —
+    the ``engine-salt-coverage`` lint check reports them, so a rename
+    cannot silently freeze the salt *and* pass CI.
+    """
+    if root is None:
+        root = _salt_root()
+    files: list[Path] = []
+    for package in SALT_SOURCE_PACKAGES:
+        target = root / package
+        if package.endswith(".py"):
+            if target.is_file():
+                files.append(target)
+            continue
+        files.extend(
+            path
+            for path in sorted(target.rglob("*.py"))
+            if "__pycache__" not in path.parts
+        )
+    return files
+
+
+#: Memoized (source fingerprint, salt) pair — see :func:`simulator_salt`.
+_salt_cache: tuple[tuple[tuple[str, int, int], ...], str] | None = None
+
+
+def _source_fingerprint(files: list[Path]) -> tuple[tuple[str, int, int], ...]:
+    """A cheap stat-based digest of the salt sources (path, mtime, size)."""
+    return tuple(
+        (str(path), stat.st_mtime_ns, stat.st_size)
+        for path in files
+        for stat in (path.stat(),)
+    )
+
+
 def simulator_salt() -> str:
     """A short hash of the simulation core's source (plus result schema).
 
-    Computed over every ``.py`` file under :data:`SALT_SOURCE_PACKAGES`
-    in sorted order, so it is stable across processes and machines but
-    changes whenever simulation semantics could have changed. Cache
-    entries embed it in their key; ``repro cache prune`` deletes entries
-    minted under any other salt.
-    """
-    import repro
+    Computed over every file from :func:`salt_source_files` in sorted
+    order, so it is stable across processes and machines but changes
+    whenever simulation semantics could have changed. Cache entries
+    embed it in their key; ``repro cache prune`` deletes entries minted
+    under any other salt.
 
-    root = Path(repro.__file__).resolve().parent
+    The content hash is memoized behind a stat fingerprint (path, mtime,
+    size) of the source files, so repeated calls are cheap but an edit
+    to any salt source mints a fresh salt *within the same process* — a
+    long-lived harness never serves cache entries under a stale salt.
+    ``simulator_salt.cache_clear()`` drops the memo entirely (tests and
+    tools that monkeypatch the salt configuration use it).
+    """
+    global _salt_cache
+    root = _salt_root()
+    files = salt_source_files(root)
+    fingerprint = _source_fingerprint(files)
+    if _salt_cache is not None and _salt_cache[0] == fingerprint:
+        return _salt_cache[1]
     h = hashlib.sha256()
     h.update(f"result-schema={RESULT_SCHEMA_VERSION}".encode())
-    for package in SALT_SOURCE_PACKAGES:
-        for path in sorted((root / package).rglob("*.py")):
-            if "__pycache__" in path.parts:
-                continue
-            h.update(str(path.relative_to(root)).encode())
-            h.update(b"\x00")
-            h.update(path.read_bytes())
-            h.update(b"\x00")
-    return h.hexdigest()[:16]
+    for path in files:
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    salt = h.hexdigest()[:16]
+    _salt_cache = (fingerprint, salt)
+    return salt
+
+
+def _clear_salt_cache() -> None:
+    global _salt_cache
+    _salt_cache = None
+
+
+simulator_salt.cache_clear = _clear_salt_cache  # type: ignore[attr-defined]
 
 
 def cell_key(

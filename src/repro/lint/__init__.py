@@ -24,21 +24,48 @@ details checkable:
 from __future__ import annotations
 
 from .analyzer import LintContext, lint_paths, lint_tree
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    parse_baseline,
+)
 from .findings import Finding, Severity
+from .output import (
+    parse_json,
+    render_json,
+    render_markdown,
+    render_text,
+    summarize,
+)
 from .rules import Rule, available_rules, make_rule, register_rule
+from .saltclosure import SaltClosureReport, salt_closure_report
 from .sanitize import InvariantSanitizer, SanitizerError, attach_sanitizers
 
 __all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "BaselineEntry",
+    "BaselineError",
     "Finding",
     "InvariantSanitizer",
     "LintContext",
     "Rule",
+    "SaltClosureReport",
     "SanitizerError",
     "Severity",
+    "apply_baseline",
     "attach_sanitizers",
     "available_rules",
     "lint_paths",
     "lint_tree",
     "make_rule",
+    "parse_baseline",
+    "parse_json",
     "register_rule",
+    "render_json",
+    "render_markdown",
+    "render_text",
+    "salt_closure_report",
+    "summarize",
 ]

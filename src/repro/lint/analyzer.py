@@ -22,8 +22,12 @@ from .findings import Finding, Severity
 from .model import LintContext, ModuleInfo, parse_module
 from .rules import Rule, all_rules
 
-# Importing contract registers the built-in rules.
+# Importing the rule modules registers the built-in rules.
 from . import contract as _contract  # noqa: F401
+from . import determinism as _determinism  # noqa: F401
+from . import fastpath_audit as _fastpath_audit  # noqa: F401
+from . import saltclosure as _saltclosure  # noqa: F401
+from . import snapshot as _snapshot  # noqa: F401
 
 #: Directories never linted (caches, build output).
 _SKIP_DIRS = {"__pycache__", ".git", "build", "dist"}
@@ -167,17 +171,20 @@ def _engine_findings() -> list[Finding]:
     """Sanity-check the sweep engine's cache-invalidation contract.
 
     The engine's on-disk cache is only sound if its simulator-version
-    salt really covers the simulation core: every package named in
-    ``SALT_SOURCE_PACKAGES`` must exist in the live tree (a rename that
-    silently drops one would freeze the salt while semantics change),
-    and the salt itself must compute.
+    salt really covers the simulation core: every entry named in
+    ``SALT_SOURCE_PACKAGES`` must exist in the live tree — a package
+    directory for plain entries, a file for single-module ``.py``
+    entries (a rename that silently drops one would freeze the salt
+    while semantics change) — and the salt itself must compute.
     """
     from ..harness import engine as engine_module
 
     engine_path = str(package_root() / "harness" / "engine.py")
     findings: list[Finding] = []
     for package in engine_module.SALT_SOURCE_PACKAGES:
-        if not (package_root() / package).is_dir():
+        target = package_root() / package
+        exists = target.is_file() if package.endswith(".py") else target.is_dir()
+        if not exists:
             findings.append(
                 Finding(
                     rule="engine-salt-coverage",
@@ -185,7 +192,7 @@ def _engine_findings() -> list[Finding]:
                     path=engine_path,
                     line=1,
                     message=(
-                        f"salt source package {package!r} does not exist; "
+                        f"salt source entry {package!r} does not exist; "
                         "cached results would survive core changes"
                     ),
                     hint="keep SALT_SOURCE_PACKAGES in sync with the package layout",

@@ -1,0 +1,170 @@
+"""Checked-in lint baseline: suppressions with owners, reasons and expiry.
+
+A baseline lets ``repro lint --strict`` gate CI while known, accepted
+findings are paid down incrementally. Every entry must carry an expiry
+date so a suppression can never become permanent by accident: when the
+date passes, the entry itself turns into an error-severity finding and
+the gate fails until the underlying finding is fixed (or the expiry is
+consciously renewed in review).
+
+File format — one entry per line, ``|``-separated fields::
+
+    # comments and blank lines are ignored
+    <rule> | <path suffix> | <message substring> | expires=YYYY-MM-DD | <reason>
+
+A finding is suppressed by an entry when the rule matches exactly, the
+finding's path ends with the path suffix, and the message substring
+occurs in the finding's message. Matching on message text (not line
+numbers) keeps the baseline stable under unrelated edits.
+
+Entries that match nothing produce a note-severity ``baseline-unused``
+finding — stale suppressions are clutter, but deleting one must never
+break the build on its own.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ReproError
+from .findings import Finding, Severity
+
+#: Default baseline filename, looked up in the working directory.
+DEFAULT_BASELINE_NAME = "lint-baseline.txt"
+
+
+class BaselineError(ReproError):
+    """The baseline file does not parse."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppression: what it matches, why, and until when."""
+
+    rule: str
+    path_suffix: str
+    message_substring: str
+    expires: datetime.date
+    reason: str
+    lineno: int  # line in the baseline file, for error reporting
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry suppresses ``finding`` (ignoring expiry)."""
+        return (
+            finding.rule == self.rule
+            and finding.path.endswith(self.path_suffix)
+            and self.message_substring in finding.message
+        )
+
+    def expired(self, today: datetime.date) -> bool:
+        return today > self.expires
+
+
+def parse_baseline(path: str | Path) -> list[BaselineEntry]:
+    """Parse a baseline file; raises :class:`BaselineError` on bad syntax."""
+    entries: list[BaselineEntry] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = [f.strip() for f in line.split("|")]
+        if len(fields) != 5:
+            raise BaselineError(
+                f"{path}:{lineno}: baseline entry needs 5 '|'-separated "
+                f"fields (rule | path | message | expires=DATE | reason), "
+                f"got {len(fields)}"
+            )
+        rule, path_suffix, message, expires_field, reason = fields
+        if not expires_field.startswith("expires="):
+            raise BaselineError(
+                f"{path}:{lineno}: fourth field must be expires=YYYY-MM-DD, "
+                f"got {expires_field!r}"
+            )
+        try:
+            expires = datetime.date.fromisoformat(expires_field[len("expires="):])
+        except ValueError as exc:
+            raise BaselineError(f"{path}:{lineno}: bad expiry date: {exc}") from None
+        if not (rule and path_suffix and message and reason):
+            raise BaselineError(
+                f"{path}:{lineno}: rule, path, message and reason must all "
+                "be non-empty (a suppression needs a justification)"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=rule,
+                path_suffix=path_suffix,
+                message_substring=message,
+                expires=expires,
+                reason=reason,
+                lineno=lineno,
+            )
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding],
+    entries: list[BaselineEntry],
+    baseline_path: str | Path,
+    today: datetime.date | None = None,
+) -> tuple[list[Finding], int]:
+    """Filter ``findings`` through the baseline.
+
+    Returns ``(kept, suppressed_count)`` where ``kept`` is the surviving
+    findings plus the baseline's own diagnostics: an error-severity
+    ``baseline-expired`` finding per expired entry that still matches
+    something, and a note-severity ``baseline-unused`` finding per entry
+    that matches nothing.
+    """
+    if today is None:
+        today = datetime.date.today()
+    path_str = str(baseline_path)
+    kept: list[Finding] = []
+    suppressed = 0
+    matched: dict[int, int] = {entry.lineno: 0 for entry in entries}
+    for finding in findings:
+        live_match = None
+        for entry in entries:
+            if entry.matches(finding):
+                matched[entry.lineno] += 1
+                if not entry.expired(today):
+                    live_match = entry
+                    break
+        if live_match is not None:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    for entry in entries:
+        if entry.expired(today) and matched[entry.lineno]:
+            kept.append(
+                Finding(
+                    rule="baseline-expired",
+                    severity=Severity.ERROR,
+                    path=path_str,
+                    line=entry.lineno,
+                    message=(
+                        f"suppression of [{entry.rule}] "
+                        f"{entry.path_suffix!r} expired on {entry.expires}: "
+                        f"{entry.reason}"
+                    ),
+                    hint="fix the underlying finding or renew the expiry in review",
+                )
+            )
+        elif not matched[entry.lineno]:
+            kept.append(
+                Finding(
+                    rule="baseline-unused",
+                    severity=Severity.NOTE,
+                    path=path_str,
+                    line=entry.lineno,
+                    message=(
+                        f"suppression of [{entry.rule}] "
+                        f"{entry.path_suffix!r} no longer matches any finding"
+                    ),
+                    hint="delete the stale baseline entry",
+                )
+            )
+    return kept, suppressed

@@ -1,0 +1,326 @@
+"""Dataflow-aware determinism rules for simulation code.
+
+The basic :class:`~repro.lint.contract.DeterminismRule` bans the obvious
+hazards (``import random``, wall-clock imports, bare ``hash()``,
+unseeded generators) at the statement level. The rules here catch the
+quieter ways nondeterminism leaks into a simulation:
+
+* iterating an *unordered* container — Python ``set`` iteration order
+  depends on insertion history and the per-process string hash seed, so
+  a victim scan or training loop driven by one diverges run to run even
+  when every element is identical;
+* values from process-identity sources (``id()``, ``time.*``,
+  ``os.getpid()``, ``uuid``) flowing into policy state, table indices or
+  return values — a predictor keyed on ``id(line) % tables`` is keyed on
+  the allocator;
+* reading the environment — an env var is invisible to the sweep
+  engine's cache key, so two runs with different environments would
+  share a cache entry while computing different things.
+
+All three apply only to simulation modules (``policies``/``mem``/
+``core`` path components, same scope as the base determinism rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding, Severity
+from .model import ClassInfo, LintContext, ModuleInfo
+from .rules import Rule, register_rule
+
+from .contract import _is_simulation_module
+
+#: Call names whose results identify the process, not the simulation.
+_IDENTITY_SOURCES = {"id", "getpid", "uuid1", "uuid4", "urandom", "token_bytes"}
+
+#: ``time`` module functions (matched as ``time.<name>(...)`` calls).
+_CLOCK_SOURCES = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+}
+
+
+def _is_set_constructor(node: ast.AST) -> bool:
+    """Whether ``node`` evaluates to a set (literal, comp, or call)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _set_typed_attrs(cls: ClassInfo) -> set[str]:
+    """``self.<attr>`` names assigned a set anywhere in the class."""
+    attrs: set[str] = set()
+    for fn in cls.methods.values():
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not _is_set_constructor(node.value):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+    return attrs
+
+
+def _set_typed_locals(fn: ast.FunctionDef) -> set[str]:
+    """Local names assigned a set inside ``fn``."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and _is_set_constructor(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _method_owner_map(ctx: LintContext) -> dict[int, ClassInfo]:
+    """``id(function node)`` -> owning class, for every known method."""
+    return {
+        id(fn): cls for cls in ctx.classes for fn in cls.methods.values()
+    }
+
+
+class UnorderedIterRule(Rule):
+    """No iteration over sets in simulation code.
+
+    ``dict`` preserves insertion order (deterministic given a
+    deterministic insertion sequence); ``set`` does not — its iteration
+    order depends on hash values, which for strings are salted per
+    process. A ``for way in candidate_set`` victim scan can therefore
+    pick different victims on identical inputs. Iterate a list, or wrap
+    the set in ``sorted(...)`` to impose a total order.
+    """
+
+    name = "determinism-unordered-iter"
+    description = "simulation code never iterates a set (unordered, hash-seed dependent)"
+    severity = Severity.ERROR
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        owners = _method_owner_map(ctx)
+        for module in ctx.modules:
+            if not _is_simulation_module(module.path):
+                continue
+            for fn in ast.walk(module.tree):
+                if not isinstance(fn, ast.FunctionDef):
+                    continue
+                cls = owners.get(id(fn))
+                set_attrs = _set_typed_attrs(cls) if cls is not None else set()
+                set_locals = _set_typed_locals(fn)
+                for where, iter_expr in self._iteration_sites(fn):
+                    if self._is_set_valued(iter_expr, set_locals, set_attrs):
+                        yield self.finding(
+                            module.path,
+                            where,
+                            f"{fn.name} iterates over "
+                            f"{self._describe(iter_expr)}; set order is "
+                            "unordered and varies with the process hash seed",
+                            "iterate a list, or wrap the set in sorted(...) "
+                            "to impose a deterministic order",
+                        )
+
+    @staticmethod
+    def _describe(expr: ast.expr) -> str:
+        if isinstance(expr, ast.Name):
+            return f"the set {expr.id!r}"
+        if isinstance(expr, ast.Attribute):
+            return f"the set 'self.{expr.attr}'"
+        return "a set"
+
+    @staticmethod
+    def _iteration_sites(fn: ast.FunctionDef) -> Iterator[tuple[int, ast.expr]]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.For):
+                yield node.lineno, node.iter
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield node.lineno, gen.iter
+
+    @staticmethod
+    def _is_set_valued(
+        expr: ast.expr, set_locals: set[str], set_attrs: set[str]
+    ) -> bool:
+        if _is_set_constructor(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in set_locals
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr in set_attrs
+        return False
+
+
+def _source_call_name(node: ast.Call) -> str | None:
+    """The source name if ``node`` calls a nondeterministic source."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _IDENTITY_SOURCES:
+        return func.id
+    if isinstance(func, ast.Attribute):
+        if func.attr in _IDENTITY_SOURCES:
+            return func.attr
+        if func.attr in _CLOCK_SOURCES and isinstance(func.value, ast.Name):
+            if func.value.id == "time":
+                return f"time.{func.attr}"
+    return None
+
+
+class DataflowRule(Rule):
+    """Process-identity values must not flow into simulation decisions.
+
+    A single forward taint pass per function: sources are calls to
+    ``id()``, ``time.*()``, ``os.getpid()`` and friends; taint
+    propagates through local assignments; sinks are stores into
+    ``self.*`` state, subscript indices (table lookups) and return
+    values. The statement-level determinism rule already bans *importing*
+    ``time`` in simulation modules — this rule reports the flow itself,
+    so a hazard smuggled through a helper parameter or pre-imported
+    module still surfaces, with the sink (the corrupted decision) as the
+    finding location.
+    """
+
+    name = "determinism-dataflow"
+    description = "id()/time()/pid values never reach policy state, indices or returns"
+    severity = Severity.ERROR
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for module in ctx.modules:
+            if not _is_simulation_module(module.path):
+                continue
+            for fn in ast.walk(module.tree):
+                if isinstance(fn, ast.FunctionDef):
+                    yield from self._check_function(module, fn)
+
+    def _check_function(
+        self, module: ModuleInfo, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        # Forward pass: which locals hold source-derived values?
+        tainted: dict[str, str] = {}  # name -> source description
+
+        def expr_source(node: ast.AST) -> str | None:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    source = _source_call_name(sub)
+                    if source is not None:
+                        return source
+                if isinstance(sub, ast.Name) and sub.id in tainted:
+                    return tainted[sub.id]
+            return None
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                source = expr_source(node.value)
+                if source is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.setdefault(target.id, source)
+            elif isinstance(node, ast.AugAssign):
+                source = expr_source(node.value)
+                if source is not None and isinstance(node.target, ast.Name):
+                    tainted.setdefault(node.target.id, source)
+
+        reported: set[int] = set()
+
+        def report(lineno: int, source: str, sink: str) -> Finding:
+            reported.add(lineno)
+            return self.finding(
+                module.path,
+                lineno,
+                f"{fn.name}: value derived from {source}() flows into {sink}",
+                "derive the value from simulation inputs (addresses, PCs, "
+                "a seeded Generator), never from process identity or clocks",
+            )
+
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                source = expr_source(node.value)
+                if source is None:
+                    continue
+                for target in targets:
+                    root = target
+                    while isinstance(root, ast.Subscript):
+                        root = root.value
+                    if (
+                        isinstance(root, ast.Attribute)
+                        and isinstance(root.value, ast.Name)
+                        and root.value.id == "self"
+                    ):
+                        yield report(
+                            node.lineno, source, f"policy state self.{root.attr}"
+                        )
+                        break
+            elif isinstance(node, ast.Subscript):
+                source = expr_source(node.slice)
+                if source is not None and node.lineno not in reported:
+                    yield report(node.lineno, source, "a table index")
+            elif isinstance(node, ast.Return) and node.value is not None:
+                source = expr_source(node.value)
+                if source is not None and node.lineno not in reported:
+                    yield report(node.lineno, source, "a return value")
+
+
+class EnvReadRule(Rule):
+    """Simulation code never reads the process environment.
+
+    Environment variables are configuration the sweep-engine cache key
+    cannot see: two hosts with different ``REPRO_*`` (or any other)
+    variables would share cache entries while simulating different
+    machines. Configuration belongs in :class:`MachineConfig` or
+    explicit parameters; only the harness layer may consult the
+    environment (and it folds what it reads into cache keys).
+    """
+
+    name = "determinism-env"
+    description = "simulation code never reads os.environ / os.getenv"
+    severity = Severity.ERROR
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for module in ctx.modules:
+            if not _is_simulation_module(module.path):
+                continue
+            for node in ast.walk(module.tree):
+                what: str | None = None
+                if isinstance(node, ast.Attribute) and node.attr == "environ":
+                    what = "os.environ"
+                elif isinstance(node, ast.Name) and node.id == "environ":
+                    what = "environ"
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    name = (
+                        func.attr
+                        if isinstance(func, ast.Attribute)
+                        else func.id
+                        if isinstance(func, ast.Name)
+                        else None
+                    )
+                    if name == "getenv":
+                        what = "os.getenv()"
+                if what is not None:
+                    yield self.finding(
+                        module.path,
+                        node.lineno,
+                        f"simulation module reads the environment via {what}",
+                        "plumb configuration through MachineConfig or function "
+                        "parameters; env vars bypass the sweep cache key",
+                    )
+
+
+for _rule in (UnorderedIterRule, DataflowRule, EnvReadRule):
+    register_rule(_rule.name, _rule)

@@ -12,14 +12,29 @@ from dataclasses import dataclass
 
 
 class Severity(enum.IntEnum):
-    """How bad a finding is; ordering is by increasing badness."""
+    """How bad a finding is; ordering is by increasing badness.
+
+    ``INFO`` is an alias of ``NOTE`` (docs and the CLI say "info"; the
+    enum predates the name). Exit-code policy: only ``ERROR`` findings
+    fail a lint run; ``--strict`` promotes ``WARNING`` to failing too;
+    ``NOTE``/``INFO`` findings are always informational.
+    """
 
     NOTE = 0
+    INFO = 0  # alias
     WARNING = 1
     ERROR = 2
 
     def __str__(self) -> str:  # "error", not "Severity.ERROR", in reports
         return self.name.lower()
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        """The severity named ``name`` ("error"/"warning"/"note"/"info")."""
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {name!r}") from None
 
 
 @dataclass(frozen=True)
@@ -42,6 +57,29 @@ class Finding:
         return (
             f"{self.path}:{self.line}: {self.severity} [{self.rule}] "
             f"{self.message}\n    hint: {self.hint}"
+        )
+
+    def to_json_dict(self) -> dict[str, object]:
+        """A JSON-serializable document of this finding."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_json_dict` output."""
+        return cls(
+            rule=str(doc["rule"]),
+            severity=Severity.parse(str(doc["severity"])),
+            path=str(doc["path"]),
+            line=int(doc["line"]),  # type: ignore[arg-type]
+            message=str(doc["message"]),
+            hint=str(doc["hint"]),
         )
 
 

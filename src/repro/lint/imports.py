@@ -1,0 +1,164 @@
+"""Whole-program import graph over a parsed :class:`LintContext`.
+
+The salt-closure pass needs to know which modules are *semantically
+reachable* from the simulation entry points: if editing a module's
+source could change what a simulation computes, that module must be
+covered by the sweep engine's simulator-version salt
+(:data:`repro.harness.engine.SALT_SOURCE_PACKAGES`), or cached results
+silently survive the change.
+
+The graph is built statically from the AST:
+
+* module names are derived from file paths by walking up through
+  ``__init__.py``-bearing directories, so the model works on the
+  installed ``repro`` package and on fixture trees alike;
+* edges follow ``import a.b``, ``from a.b import c`` (resolving ``c`` to
+  the submodule ``a.b.c`` when one exists in the graph, else to the
+  package ``a.b``), and relative forms at any nesting depth — including
+  imports inside functions, which are runtime dependencies even though
+  they are deferred;
+* imports guarded by ``if TYPE_CHECKING:`` are *excluded*: they never
+  execute, so they cannot carry semantics.
+
+Package ``__init__`` execution chains are deliberately not modelled:
+importing ``a.b.c`` executes ``a/__init__.py``, but a re-exporting
+``__init__`` cannot change what ``a.b.c`` computes, and following the
+chain would drag entire packages into the closure for one submodule.
+Modules outside the analyzed tree (numpy, stdlib) are opaque.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .model import LintContext, ModuleInfo
+
+
+def module_name_for(path: str | Path) -> str | None:
+    """Dotted module name of ``path``, walking up ``__init__.py`` dirs.
+
+    Returns ``None`` for files that are not part of any package (no
+    ``__init__.py`` next to them).
+    """
+    p = Path(path).resolve()
+    if p.name == "__init__.py":
+        parts: list[str] = []
+        package_dir = p.parent
+    else:
+        parts = [p.stem]
+        package_dir = p.parent
+    if not (package_dir / "__init__.py").is_file():
+        return None
+    while (package_dir / "__init__.py").is_file():
+        parts.insert(0, package_dir.name)
+        package_dir = package_dir.parent
+    return ".".join(parts)
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """Whether an ``if`` test is the ``TYPE_CHECKING`` guard."""
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
+def _runtime_import_nodes(tree: ast.Module) -> list[ast.Import | ast.ImportFrom]:
+    """Every import statement that executes at runtime.
+
+    Walks the whole module (function bodies included — deferred imports
+    still run) but prunes ``if TYPE_CHECKING:`` bodies.
+    """
+    found: list[ast.Import | ast.ImportFrom] = []
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            stack.extend(node.orelse)  # the else branch does run
+            continue
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            found.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return found
+
+
+@dataclass
+class ImportGraph:
+    """Runtime import edges between the context's modules."""
+
+    #: module name -> ModuleInfo for every module in the analyzed tree.
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    #: module name -> set of in-tree module names it imports at runtime.
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    def reachable(self, entries: list[str]) -> set[str]:
+        """Every in-tree module transitively imported from ``entries``.
+
+        Entry names not present in the graph are ignored (a fixture tree
+        need not contain the real entry points).
+        """
+        seen: set[str] = set()
+        frontier = [e for e in entries if e in self.modules]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            frontier.extend(self.edges.get(name, ()))
+        return seen
+
+
+def _resolve_from_import(
+    node: ast.ImportFrom, importer: str, known: set[str]
+) -> list[str]:
+    """Target module names of one ``from X import a, b`` statement."""
+    if node.level:  # relative import: resolve against the importer
+        package_parts = importer.split(".")[: -node.level]
+        if not package_parts:
+            return []
+        base = ".".join(package_parts)
+        if node.module:
+            base = f"{base}.{node.module}"
+    else:
+        if node.module is None:
+            return []
+        base = node.module
+    targets: list[str] = []
+    for alias in node.names:
+        submodule = f"{base}.{alias.name}"
+        if submodule in known:
+            # ``from pkg import mod`` — the name is itself a module.
+            targets.append(submodule)
+        elif base in known:
+            # ``from pkg import attr`` — depends on pkg's __init__.
+            targets.append(base)
+    return targets
+
+
+def build_import_graph(ctx: LintContext) -> ImportGraph:
+    """The runtime import graph over every module in ``ctx``."""
+    graph = ImportGraph()
+    for module in ctx.modules:
+        name = module_name_for(module.path)
+        if name is not None:
+            graph.modules[name] = module
+    known = set(graph.modules)
+    for name, module in graph.modules.items():
+        deps: set[str] = set()
+        for node in _runtime_import_nodes(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    # ``import a.b.c`` binds ``a`` but executes a.b.c;
+                    # record the deepest in-tree prefix.
+                    parts = alias.name.split(".")
+                    for depth in range(len(parts), 0, -1):
+                        candidate = ".".join(parts[:depth])
+                        if candidate in known:
+                            deps.add(candidate)
+                            break
+            else:
+                deps.update(_resolve_from_import(node, name, known))
+        deps.discard(name)
+        graph.edges[name] = deps
+    return graph

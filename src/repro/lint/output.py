@@ -1,0 +1,79 @@
+"""Finding output formats: text, JSON, and markdown.
+
+The text form is for terminals (one finding per line plus a fix hint),
+JSON is for tooling (schema-versioned, round-trips through
+:meth:`~repro.lint.findings.Finding.from_json_dict`), and markdown is
+the table the CI gate posts to ``$GITHUB_STEP_SUMMARY``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding, Severity
+
+#: Version of the ``repro lint --format json`` document.
+FINDINGS_JSON_VERSION = 1
+
+
+def summarize(findings: list[Finding]) -> dict[str, int]:
+    """Counts by severity (notes reported as ``info``)."""
+    return {
+        "errors": sum(1 for f in findings if f.severity == Severity.ERROR),
+        "warnings": sum(1 for f in findings if f.severity == Severity.WARNING),
+        "info": sum(1 for f in findings if f.severity == Severity.NOTE),
+    }
+
+
+def render_text(findings: list[Finding]) -> str:
+    """One rendered finding per entry, newline-joined."""
+    return "\n".join(f.render() for f in findings)
+
+
+def render_json(findings: list[Finding], suppressed: int = 0) -> str:
+    """The versioned JSON document for ``--format json``."""
+    doc = {
+        "version": FINDINGS_JSON_VERSION,
+        "findings": [f.to_json_dict() for f in findings],
+        "summary": {**summarize(findings), "suppressed": suppressed},
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def parse_json(text: str) -> list[Finding]:
+    """Findings back out of a ``render_json`` document."""
+    doc = json.loads(text)
+    if doc.get("version") != FINDINGS_JSON_VERSION:
+        raise ValueError(
+            f"unsupported findings document version {doc.get('version')!r}"
+        )
+    return [Finding.from_json_dict(entry) for entry in doc["findings"]]
+
+
+def _md_escape(text: str) -> str:
+    return text.replace("|", "\\|").replace("\n", " ")
+
+
+def render_markdown(findings: list[Finding], suppressed: int = 0) -> str:
+    """The markdown table posted to CI job summaries."""
+    counts = summarize(findings)
+    lines = [
+        "## repro lint",
+        "",
+        f"**{counts['errors']} error(s), {counts['warnings']} warning(s), "
+        f"{counts['info']} info** ({suppressed} baselined)",
+        "",
+    ]
+    if findings:
+        lines += [
+            "| Severity | Rule | Location | Message | Hint |",
+            "|---|---|---|---|---|",
+        ]
+        for f in findings:
+            lines.append(
+                f"| {f.severity} | `{f.rule}` | `{_md_escape(f.path)}:{f.line}` "
+                f"| {_md_escape(f.message)} | {_md_escape(f.hint)} |"
+            )
+    else:
+        lines.append("No findings — the tree is clean under the current baseline.")
+    return "\n".join(lines)

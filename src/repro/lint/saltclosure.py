@@ -1,0 +1,177 @@
+"""Salt-closure pass: the sweep cache's salt covers everything it must.
+
+The sweep engine's on-disk result cache is keyed on a *simulator-version
+salt* — a hash over the source files named by
+``repro.harness.engine.SALT_SOURCE_PACKAGES``. The soundness argument is
+simple: if editing a file could change what a simulation computes, that
+file must be inside the salt, or cached results survive the edit and
+the "bit-identical" guarantee becomes a lie served from disk.
+
+"Could change what a simulation computes" is exactly runtime
+reachability over the import graph (:mod:`repro.lint.imports`) from the
+simulation entry points: the simulator driver, the fast-path engine,
+and the policy registry (which pulls in every policy module). This pass
+builds that closure and fails if any reachable module of the analyzed
+package lies outside the salt's coverage.
+
+Both sides of the comparison come from the *parsed* tree — the entry
+list is read out of ``engine.py``'s AST, not imported — so the pass
+works identically on the live package and on test fixture trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .findings import Finding, Severity
+from .imports import build_import_graph, module_name_for
+from .model import LintContext, ModuleInfo
+from .rules import Rule, register_rule
+
+#: The salt configuration variable looked up in the engine's AST.
+SALT_VARIABLE = "SALT_SOURCE_PACKAGES"
+
+#: Entry points of the simulation, relative to the package root: the
+#: reference driver, the fast-path engine, and the policy registry.
+ENTRY_MODULE_SUFFIXES = (
+    "core.simulator",
+    "mem.fastpath",
+    "policies.registry",
+)
+
+
+@dataclass
+class SaltClosureReport:
+    """What the pass computed, for tests and diagnostics."""
+
+    #: Module names of the entry points actually present in the graph.
+    entries: list[str] = field(default_factory=list)
+    #: The raw SALT_SOURCE_PACKAGES entries parsed from engine.py.
+    salt_specs: list[str] = field(default_factory=list)
+    #: Every module transitively reachable from the entries.
+    reachable: set[str] = field(default_factory=set)
+    #: Reachable modules not covered by any salt spec.
+    uncovered: list[str] = field(default_factory=list)
+
+
+def _find_salt_assignment(
+    ctx: LintContext,
+) -> tuple[ModuleInfo, ast.Assign] | None:
+    """The module and assignment defining ``SALT_SOURCE_PACKAGES``."""
+    for module in ctx.modules:
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == SALT_VARIABLE
+                for t in node.targets
+            ):
+                return module, node
+    return None
+
+
+def _parse_salt_specs(node: ast.Assign) -> list[str] | None:
+    """The string entries of the salt tuple, or None if not a literal."""
+    value = node.value
+    if not isinstance(value, (ast.Tuple, ast.List)):
+        return None
+    specs: list[str] = []
+    for element in value.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        specs.append(element.value)
+    return specs
+
+
+def _spec_covers(spec: str, root: str, module: str) -> bool:
+    """Whether one salt spec covers ``module`` (a dotted name).
+
+    A spec ending in ``.py`` names a single module by path relative to
+    the package root (``"errors.py"``, ``"lint/sanitize.py"``); any
+    other spec names a package and covers it with all submodules.
+    """
+    if spec.endswith(".py"):
+        dotted = spec[: -len(".py")].replace("/", ".").replace("\\", ".")
+        return module == f"{root}.{dotted}"
+    prefix = f"{root}.{spec}"
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def salt_closure_report(ctx: LintContext) -> SaltClosureReport | None:
+    """Compute the closure comparison, or None when it does not apply.
+
+    Returns None when the context has no ``SALT_SOURCE_PACKAGES``
+    assignment, the engine file is not inside a package (no
+    ``__init__.py`` chain — fixture fragments), or none of the entry
+    points exist in the tree.
+    """
+    located = _find_salt_assignment(ctx)
+    if located is None:
+        return None
+    engine_module, assignment = located
+    specs = _parse_salt_specs(assignment)
+    if specs is None:
+        return None  # reported separately as a malformed-salt finding
+    engine_name = module_name_for(engine_module.path)
+    if engine_name is None:
+        return None
+    root = engine_name.split(".")[0]
+    graph = build_import_graph(ctx)
+    entries = [
+        name
+        for suffix in ENTRY_MODULE_SUFFIXES
+        if (name := f"{root}.{suffix}") in graph.modules
+    ]
+    if not entries:
+        return None
+    reachable = graph.reachable(entries)
+    uncovered = sorted(
+        module
+        for module in reachable
+        if not any(_spec_covers(spec, root, module) for spec in specs)
+    )
+    return SaltClosureReport(
+        entries=entries,
+        salt_specs=specs,
+        reachable=reachable,
+        uncovered=uncovered,
+    )
+
+
+class SaltClosureRule(Rule):
+    """Every module reachable from the simulation is inside the salt."""
+
+    name = "salt-closure"
+    description = "SALT_SOURCE_PACKAGES covers the import closure of the simulation"
+    severity = Severity.ERROR
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        located = _find_salt_assignment(ctx)
+        if located is None:
+            return
+        engine_module, assignment = located
+        if _parse_salt_specs(assignment) is None:
+            yield self.finding(
+                engine_module.path,
+                assignment.lineno,
+                f"{SALT_VARIABLE} is not a literal tuple of strings; the "
+                "salt closure cannot be verified statically",
+                "keep the salt source list a plain tuple of string literals",
+            )
+            return
+        report = salt_closure_report(ctx)
+        if report is None:
+            return
+        for module in report.uncovered:
+            yield self.finding(
+                engine_module.path,
+                assignment.lineno,
+                f"module {module} is reachable from the simulation entry "
+                f"points but not covered by {SALT_VARIABLE}; editing it "
+                "would not invalidate cached results",
+                "add its package (or a '<path>.py' single-module entry) "
+                f"to {SALT_VARIABLE}",
+            )
+
+
+register_rule(SaltClosureRule.name, SaltClosureRule)

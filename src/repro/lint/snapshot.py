@@ -1,0 +1,71 @@
+"""Snapshot-completeness pass: every mutable policy attr is reported.
+
+``snapshot_state()`` is the telemetry subsystem's window into a policy's
+internal predictor state (PSEL duels, RRPV histograms, sampler hit
+rates). The interval profiles are only trustworthy if the snapshot
+actually covers the state that evolves during simulation: a policy that
+grows a new table but not a new snapshot field silently drops that
+dimension from every published profile.
+
+The pass infers each concrete policy's mutable-state inventory from the
+AST (:mod:`repro.lint.inventory`): attrs allocated in
+``__init__``/``initialize`` and mutated from hook-reachable code. It
+then requires ``snapshot_state()`` — including helpers and properties it
+reaches — to reference every one of them. Referencing is enough:
+snapshots report *aggregates* (a histogram over ``self._rrpv``, not the
+raw array), so the check is "does the snapshot look at this state at
+all", not "does it dump it".
+
+Findings are warnings: an incomplete snapshot under-reports telemetry
+but does not corrupt simulation results. Genuinely redundant state
+(an attr fully derivable from another that *is* covered) belongs in the
+lint baseline with a reason.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .findings import Finding, Severity
+from .inventory import snapshot_covered_attrs, state_inventory
+from .model import LintContext
+from .rules import Rule, register_rule
+
+
+class SnapshotCompletenessRule(Rule):
+    """Concrete policies snapshot all hook-mutated state."""
+
+    name = "snapshot-completeness"
+    description = "snapshot_state() covers every attr the hooks mutate"
+    severity = Severity.WARNING
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for cls in ctx.policy_classes():
+            inventory = state_inventory(ctx, cls)
+            mutable = inventory.mutable
+            if not mutable:
+                continue
+            resolved = ctx.resolve_method(cls, "snapshot_state")
+            covered = snapshot_covered_attrs(ctx, cls)
+            missing = sorted(set(mutable) - covered)
+            if not missing:
+                continue
+            if resolved is not None and resolved[0] is cls:
+                anchor = resolved[1].lineno
+            else:
+                anchor = cls.node.lineno
+            described = ", ".join(
+                f"{attr} (mutated by {'/'.join(sorted(inventory.mutated_by[attr]))})"
+                for attr in missing
+            )
+            yield self.finding(
+                cls.module.path,
+                anchor,
+                f"{cls.name}.snapshot_state() does not cover mutable state: "
+                f"{described}",
+                "report an aggregate of each attr in snapshot_state(), or "
+                "baseline it with a reason if it is derivable from covered state",
+            )
+
+
+register_rule(SnapshotCompletenessRule.name, SnapshotCompletenessRule)

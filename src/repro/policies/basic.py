@@ -49,7 +49,10 @@ class LRUPolicy(ReplacementPolicy):
         self._touch(set_index, way)
 
     def snapshot_state(self) -> dict[str, object]:
-        return {"clock": self._clock}
+        # Clock minus the globally oldest stamp bounds how stale the
+        # recency state is; it grows when some line is never touched.
+        oldest = min(min(row) for row in self._stamp)
+        return {"clock": self._clock, "oldest_stamp_age": self._clock - oldest}
 
 
 class MRUPolicy(LRUPolicy):
@@ -100,6 +103,10 @@ class FIFOPolicy(ReplacementPolicy):
         self._clock += 1
         self._stamp[set_index][way] = self._clock
 
+    def snapshot_state(self) -> dict[str, object]:
+        oldest = min(min(row) for row in self._stamp)
+        return {"clock": self._clock, "oldest_stamp_age": self._clock - oldest}
+
 
 class RandomPolicy(ReplacementPolicy):
     """Uniformly random victim selection (seeded, reproducible)."""
@@ -122,6 +129,12 @@ class RandomPolicy(ReplacementPolicy):
 
     def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
         pass
+
+    def snapshot_state(self) -> dict[str, object]:
+        # The generator position pins the whole draw history: two runs
+        # with equal seed and state word have made identical decisions.
+        raw = self._rng.bit_generator.state["state"]["state"]
+        return {"seed": self._seed, "rng_state_word": int(raw) & 0xFFFFFFFFFFFFFFFF}
 
 
 class NRUPolicy(ReplacementPolicy):
@@ -152,6 +165,9 @@ class NRUPolicy(ReplacementPolicy):
 
     def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
         self._ref[set_index][way] = 1
+
+    def snapshot_state(self) -> dict[str, object]:
+        return {"ref_bits_set": sum(sum(row) for row in self._ref)}
 
 
 class TreePLRUPolicy(ReplacementPolicy):
@@ -197,3 +213,6 @@ class TreePLRUPolicy(ReplacementPolicy):
 
     def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
         self._touch(set_index, way)
+
+    def snapshot_state(self) -> dict[str, object]:
+        return {"tree_bits_set": sum(sum(row) for row in self._bits)}

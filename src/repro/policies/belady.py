@@ -116,3 +116,9 @@ class BeladyPolicy(ReplacementPolicy):
     def position(self) -> int:
         """How many LLC accesses the oracle has consumed."""
         return self._idx
+
+    def snapshot_state(self) -> dict[str, object]:
+        known = sum(
+            1 for row in self._line_next for nxt in row if nxt != NEVER
+        )
+        return {"stream_position": self.position, "lines_with_future_use": known}

@@ -61,6 +61,10 @@ class LIPPolicy(ReplacementPolicy):
     def _insertion_stamp(self, set_index: int, access: PolicyAccess) -> int:
         return self._lru_stamp(set_index)
 
+    def snapshot_state(self) -> dict[str, object]:
+        oldest = min(min(row) for row in self._stamp)
+        return {"clock": self._clock, "oldest_stamp_age": self._clock - oldest}
+
 
 class BIPPolicy(LIPPolicy):
     """Bimodal Insertion Policy: LIP with an epsilon of MRU insertions."""
@@ -76,6 +80,11 @@ class BIPPolicy(LIPPolicy):
         if self._fill_count % BIP_EPSILON_PERIOD == 0:
             return self._mru_stamp()
         return self._lru_stamp(set_index)
+
+    def snapshot_state(self) -> dict[str, object]:
+        state = super().snapshot_state()
+        state["fill_count"] = self._fill_count
+        return state
 
 
 class DIPPolicy(BIPPolicy):
@@ -139,12 +148,11 @@ class DIPPolicy(BIPPolicy):
         super().on_fill(set_index, way, access)
 
     def snapshot_state(self) -> dict[str, object]:
-        return {
-            "psel": self._psel,
-            "psel_max": self._psel_max,
-            # Below midpoint: followers insert at MRU (LRU leaders miss less).
-            "winning_component": (
-                "lru" if self._psel < (self._psel_max + 1) // 2 else "bip"
-            ),
-            "fill_count": self._fill_count,
-        }
+        state = super().snapshot_state()  # clock/stamp staleness + fill count
+        state["psel"] = self._psel
+        state["psel_max"] = self._psel_max
+        # Below midpoint: followers insert at MRU (LRU leaders miss less).
+        state["winning_component"] = (
+            "lru" if self._psel < (self._psel_max + 1) // 2 else "bip"
+        )
+        return state

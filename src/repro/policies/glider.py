@@ -170,10 +170,17 @@ class GliderPolicy(ReplacementPolicy):
                     positive += 1
                 elif weight < 0:
                     negative += 1
+        rrpv_hist = [0] * (HAWKEYE_RRPV_MAX + 1)
+        for row in self._rrpv:
+            for value in row:
+                rrpv_hist[value] += 1
         return {
             "isvm_positive_weights": positive,
             "isvm_negative_weights": negative,
             "isvm_total_weights": ISVM_TABLE_SIZE * ISVM_WEIGHTS,
+            "rrpv_histogram": rrpv_hist,
+            "friendly_lines": sum(sum(row) for row in self._line_friendly),
+            "pchr_depth": len(self._pchr),
             "friendly_fills": self.stat_friendly_fills,
             "averse_fills": self.stat_averse_fills,
             "optgen_hit_rate": self.optgen_hit_rate,

@@ -145,11 +145,17 @@ class HawkeyePolicy(ReplacementPolicy):
         hist = [0] * (COUNTER_MAX + 1)
         for counter in self._counters:
             hist[counter] += 1
+        rrpv_hist = [0] * (HAWKEYE_RRPV_MAX + 1)
+        for row in self._rrpv:
+            for value in row:
+                rrpv_hist[value] += 1
         return {
             "predictor_histogram": hist,
             "predictor_friendly_fraction": (
                 sum(hist[FRIENDLY_THRESHOLD:]) / PREDICTOR_SIZE
             ),
+            "rrpv_histogram": rrpv_hist,
+            "friendly_lines": sum(sum(row) for row in self._line_friendly),
             "friendly_fills": self.stat_friendly_fills,
             "averse_fills": self.stat_averse_fills,
             "optgen_hit_rate": self.optgen_hit_rate,

@@ -181,10 +181,16 @@ class MPPPBPolicy(ReplacementPolicy):
                     positive += 1
                 elif weight < 0:
                     negative += 1
+        oldest = min(min(row) for row in self._stamp)
         return {
             "weight_positive": positive,
             "weight_negative": negative,
             "weight_total": NUM_FEATURES * TABLE_SIZE,
+            "clock": self._clock,
+            "oldest_stamp_age": self._clock - oldest,
+            "dead_lines": sum(sum(row) for row in self._line_dead),
+            "reused_lines": sum(sum(row) for row in self._line_reused),
+            "pc_history_depth": len(self._pc_history),
             "bypasses": self.stat_bypasses,
             "fills": self.stat_fills,
             "bypass_rate": self.bypass_rate,

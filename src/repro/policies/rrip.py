@@ -177,6 +177,7 @@ class DRRIPPolicy(SRRIPPolicy):
         state = super().snapshot_state()
         state["psel"] = self._psel
         state["psel_max"] = self._psel_max
+        state["fill_count"] = self._fill_count
         # Below midpoint: followers insert like SRRIP (its leaders miss less).
         state["winning_component"] = (
             "srrip" if self._psel < (self._psel_max + 1) // 2 else "brrip"

@@ -96,9 +96,18 @@ class SHiPPolicy(ReplacementPolicy):
         for row in self._rrpv:
             for value in row:
                 rrpv_hist[value] += 1
+        tracked = sum(sum(row) for row in self._line_valid)
+        reused = sum(
+            1
+            for vrow, rrow in zip(self._line_valid, self._line_reused)
+            for valid, hit in zip(vrow, rrow)
+            if valid and hit
+        )
         return {
             "shct_histogram": shct_hist,
             # Signatures predicted dead-on-arrival (counter saturated at 0).
             "shct_dead_fraction": shct_hist[0] / SHCT_SIZE,
             "rrpv_histogram": rrpv_hist,
+            "tracked_lines": tracked,
+            "tracked_reused_lines": reused,
         }

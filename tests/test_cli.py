@@ -163,6 +163,81 @@ class TestLint:
         assert main(["lint", str(warn_only)]) == 0
         assert main(["lint", str(warn_only), "--strict"]) == 1
 
+    def test_strict_full_tree_gate_passes(self, capsys):
+        # The CI gate: the live tree under the checked-in baseline.
+        assert main(["lint", "--strict"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().err
+
+    def test_no_baseline_surfaces_suppressed_findings(self, capsys):
+        assert main(["lint"]) == 0
+        baselined_run = capsys.readouterr().err
+        assert main(["lint", "--no-baseline"]) == 0  # warnings, not errors
+        raw_run = capsys.readouterr().err
+        assert "0 warning(s)" in baselined_run
+        assert "0 warning(s)" not in raw_run
+
+    def test_format_json_round_trips(self, capsys):
+        import json
+
+        from repro.lint import parse_json
+
+        assert main(["lint", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["version"] == 1
+        assert doc["summary"]["errors"] == 0
+        assert parse_json(out) == []
+
+    def test_format_markdown_renders_summary(self, capsys):
+        assert main(["lint", "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("## repro lint")
+        assert "baselined" in out
+
+    def test_strict_appends_github_step_summary(self, tmp_path, monkeypatch,
+                                                capsys):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert main(["lint", "--strict"]) == 0
+        capsys.readouterr()
+        assert "## repro lint" in summary.read_text()
+
+    def test_non_strict_does_not_write_step_summary(self, tmp_path,
+                                                    monkeypatch, capsys):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert main(["lint"]) == 0
+        capsys.readouterr()
+        assert not summary.exists()
+
+    def test_explicit_baseline_flag_applies_to_paths(self, tmp_path, capsys):
+        warn_only = tmp_path / "hot.py"
+        warn_only.write_text(
+            "def lookup(tags, block):  # hot\n"
+            "    return [t for t in tags if t == block]\n"
+        )
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            "hot-alloc | hot.py | comprehension | expires=2030-01-01 "
+            "| known hot helper\n"
+        )
+        rc = main(["lint", str(warn_only), "--strict",
+                   "--baseline", str(baseline)])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_missing_baseline_file_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["lint", "--baseline", str(tmp_path / "absent.txt")])
+        assert rc == 1
+        assert "baseline file not found" in capsys.readouterr().err
+
+    def test_exit_codes_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "error-severity findings" in out
+
 
 class TestExperiment:
     def test_table1(self, capsys):

@@ -358,3 +358,83 @@ class TestRunMatrixIntegration:
         run_matrix(traces, ["lru"], config=tiny_config(), engine=engine)
         matrix = run_matrix(traces, ["lru"], config=tiny_config(), engine=engine)
         assert matrix.sweep_stats.hits == 2
+
+
+class TestSaltFreshness:
+    """simulator_salt() must track source edits within one process.
+
+    The old ``lru_cache(maxsize=1)`` froze the salt for the process
+    lifetime, so a long-lived harness editing policies between sweeps
+    would keep writing cache entries under the stale salt. The salt is
+    now memoized on a (path, mtime_ns, size) fingerprint.
+    """
+
+    @pytest.fixture
+    def salt_tree(self, tmp_path, monkeypatch):
+        from repro.harness import engine
+
+        root = tmp_path / "repro"
+        (root / "core").mkdir(parents=True)
+        (root / "core" / "simulator.py").write_text("X = 1\n")
+        (root / "errors.py").write_text("class E(Exception): pass\n")
+        monkeypatch.setattr(engine, "_salt_root", lambda: root)
+        monkeypatch.setattr(
+            engine, "SALT_SOURCE_PACKAGES", ("core", "errors.py")
+        )
+        engine.simulator_salt.cache_clear()
+        yield root
+        engine.simulator_salt.cache_clear()
+
+    @staticmethod
+    def _bump_mtime(path):
+        import os
+
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+
+    def test_salt_is_memoized_while_sources_unchanged(self, salt_tree):
+        from repro.harness import engine
+
+        first = engine.simulator_salt()
+        assert engine.simulator_salt() == first
+        assert len(first) == 16
+
+    def test_source_edit_mints_new_salt_same_process(self, salt_tree):
+        from repro.harness import engine
+
+        first = engine.simulator_salt()
+        target = salt_tree / "core" / "simulator.py"
+        target.write_text("X = 2\n")
+        self._bump_mtime(target)
+        second = engine.simulator_salt()
+        assert second != first
+        # And it settles: the new salt is itself stable.
+        assert engine.simulator_salt() == second
+
+    def test_new_source_file_changes_salt(self, salt_tree):
+        from repro.harness import engine
+
+        first = engine.simulator_salt()
+        (salt_tree / "core" / "extra.py").write_text("Y = 3\n")
+        assert engine.simulator_salt() != first
+
+    def test_single_module_entry_edit_changes_salt(self, salt_tree):
+        from repro.harness import engine
+
+        first = engine.simulator_salt()
+        target = salt_tree / "errors.py"
+        target.write_text("class E(RuntimeError): pass\n")
+        self._bump_mtime(target)
+        assert engine.simulator_salt() != first
+
+    def test_cache_clear_hook_exists_for_compat(self):
+        # Callers that used the lru_cache attribute must keep working.
+        simulator_salt.cache_clear()
+        assert simulator_salt() == simulator_salt()
+
+    def test_salt_source_files_lists_py_entries_once(self, salt_tree):
+        from repro.harness import engine
+
+        files = engine.salt_source_files(salt_tree)
+        names = sorted(p.relative_to(salt_tree).as_posix() for p in files)
+        assert names == ["core/simulator.py", "errors.py"]

@@ -1,0 +1,159 @@
+"""Baseline and findings-document tests: round-trips, expiry, output formats."""
+
+import datetime
+
+import pytest
+
+from repro.lint import (
+    BaselineError,
+    Finding,
+    Severity,
+    apply_baseline,
+    parse_baseline,
+    parse_json,
+    render_json,
+    render_markdown,
+    summarize,
+)
+
+
+def finding(rule="snapshot-completeness", path="src/repro/policies/x.py",
+            line=10, message="X.snapshot_state() does not cover _table",
+            severity=Severity.WARNING):
+    return Finding(rule=rule, severity=severity, path=path, line=line,
+                   message=message, hint="report an aggregate")
+
+
+class TestFindingsJson:
+    def test_round_trip_preserves_everything(self):
+        findings = [
+            finding(),
+            finding(rule="salt-closure", severity=Severity.ERROR, line=3),
+            finding(rule="baseline-unused", severity=Severity.NOTE),
+        ]
+        assert parse_json(render_json(findings)) == findings
+
+    def test_document_carries_version_and_summary(self):
+        import json
+
+        doc = json.loads(render_json([finding()], suppressed=2))
+        assert doc["version"] == 1
+        assert doc["summary"] == {
+            "errors": 0, "warnings": 1, "info": 0, "suppressed": 2,
+        }
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            parse_json('{"version": 99, "findings": []}')
+
+    def test_summarize_counts_by_severity(self):
+        counts = summarize([
+            finding(severity=Severity.ERROR),
+            finding(severity=Severity.WARNING),
+            finding(severity=Severity.NOTE),
+        ])
+        assert counts == {"errors": 1, "warnings": 1, "info": 1}
+
+
+class TestBaselineParsing:
+    def test_entries_parse_with_expiry_and_reason(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        path.write_text(
+            "# comment\n"
+            "\n"
+            "snapshot-completeness | policies/x.py | _table "
+            "| expires=2030-01-01 | aggregate pending\n"
+        )
+        entries = parse_baseline(path)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.rule == "snapshot-completeness"
+        assert entry.path_suffix == "policies/x.py"
+        assert entry.expires == datetime.date(2030, 1, 1)
+        assert entry.lineno == 3
+
+    @pytest.mark.parametrize("line, error", [
+        ("only | three | fields", "5 '|'-separated fields"),
+        ("r | p | m | 2030-01-01 | why", "expires=YYYY-MM-DD"),
+        ("r | p | m | expires=someday | why", "bad expiry date"),
+        ("r | p |  | expires=2030-01-01 | why", "non-empty"),
+    ])
+    def test_malformed_entries_rejected(self, tmp_path, line, error):
+        path = tmp_path / "baseline.txt"
+        path.write_text(line + "\n")
+        with pytest.raises(BaselineError, match=error):
+            parse_baseline(path)
+
+
+class TestApplyBaseline:
+    def entry_file(self, tmp_path, expires):
+        path = tmp_path / "baseline.txt"
+        path.write_text(
+            f"snapshot-completeness | policies/x.py | _table "
+            f"| expires={expires} | aggregate pending\n"
+        )
+        return path
+
+    def test_live_entry_suppresses_matching_finding(self, tmp_path):
+        path = self.entry_file(tmp_path, "2030-01-01")
+        kept, suppressed = apply_baseline(
+            [finding()], parse_baseline(path), path,
+            today=datetime.date(2026, 8, 8),
+        )
+        assert kept == []
+        assert suppressed == 1
+
+    def test_expired_entry_turns_into_an_error(self, tmp_path):
+        path = self.entry_file(tmp_path, "2026-01-01")
+        kept, suppressed = apply_baseline(
+            [finding()], parse_baseline(path), path,
+            today=datetime.date(2026, 8, 8),
+        )
+        assert suppressed == 0
+        rules = sorted(f.rule for f in kept)
+        assert rules == ["baseline-expired", "snapshot-completeness"]
+        expired = next(f for f in kept if f.rule == "baseline-expired")
+        assert expired.severity == Severity.ERROR
+        assert expired.path == str(path)
+        assert expired.line == 1  # the baseline entry's own line
+
+    def test_unused_entry_is_a_note_not_an_error(self, tmp_path):
+        path = self.entry_file(tmp_path, "2030-01-01")
+        kept, suppressed = apply_baseline(
+            [], parse_baseline(path), path, today=datetime.date(2026, 8, 8),
+        )
+        assert suppressed == 0
+        assert [f.rule for f in kept] == ["baseline-unused"]
+        assert kept[0].severity == Severity.NOTE
+
+    def test_expired_but_unmatched_entry_is_only_unused(self, tmp_path):
+        # An expired suppression with nothing to suppress must not fail
+        # the build; it is just stale.
+        path = self.entry_file(tmp_path, "2026-01-01")
+        kept, _ = apply_baseline(
+            [], parse_baseline(path), path, today=datetime.date(2026, 8, 8),
+        )
+        assert [f.rule for f in kept] == ["baseline-unused"]
+
+    def test_mismatched_rule_or_path_not_suppressed(self, tmp_path):
+        path = self.entry_file(tmp_path, "2030-01-01")
+        entries = parse_baseline(path)
+        other_rule = finding(rule="salt-closure")
+        other_path = finding(path="src/repro/policies/y.py")
+        kept, suppressed = apply_baseline(
+            [other_rule, other_path], entries, path,
+            today=datetime.date(2026, 8, 8),
+        )
+        assert suppressed == 0
+        assert other_rule in kept and other_path in kept
+
+
+class TestMarkdown:
+    def test_table_escapes_pipes_and_counts(self):
+        noisy = finding(message="uses | pipes")
+        text = render_markdown([noisy], suppressed=3)
+        assert "(3 baselined)" in text
+        assert "uses \\| pipes" in text
+
+    def test_clean_run_renders_a_clean_line(self):
+        assert "clean under the current baseline" in render_markdown([])

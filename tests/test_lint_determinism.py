@@ -1,0 +1,179 @@
+"""Fixture tests for the determinism pass (unordered-iter/dataflow/env).
+
+Each rule gets a planted violation asserting the exact finding (rule id,
+file, line) and a clean counterpart that must pass. Fixtures live under
+``tmp_path/policies`` so the path-scoped rules treat them as simulation
+code.
+"""
+
+import textwrap
+
+from repro.lint import Severity, lint_paths, make_rule
+
+
+def lint_source(tmp_path, source, rule, subdir="policies"):
+    target = tmp_path / subdir
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / "fixture.py"
+    path.write_text(textwrap.dedent(source))
+    return path, lint_paths([path], [make_rule(rule)])
+
+
+class TestUnorderedIter:
+    def test_set_literal_iteration_flagged_with_location(self, tmp_path):
+        path, findings = lint_source(tmp_path, """
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def find_victim(self, set_index, access, tags):
+                    for way in {0, 1, 2}:
+                        return way
+                    return 0
+        """, rule="determinism-unordered-iter")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "determinism-unordered-iter"
+        assert finding.path == str(path)
+        assert finding.line == 6
+        assert finding.severity == Severity.ERROR
+
+    def test_iterating_local_set_flagged(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def find_victim(self, set_index, access, tags):
+                    candidates = set(tags)
+                    for tag in candidates:
+                        return tag
+                    return 0
+        """, rule="determinism-unordered-iter")
+        assert [f.line for f in findings] == [7]
+
+    def test_iterating_set_typed_attr_flagged(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def initialize(self, num_sets, num_ways):
+                    self._seen = set()
+
+                def on_fill(self, set_index, way, access):
+                    total = sum(1 for block in self._seen)
+        """, rule="determinism-unordered-iter")
+        assert len(findings) == 1
+        assert "_seen" in findings[0].message
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def find_victim(self, set_index, access, tags):
+                    for tag in sorted(set(tags)):
+                        return tag
+                    return 0
+        """, rule="determinism-unordered-iter")
+        assert findings == []
+
+    def test_non_simulation_path_not_scoped(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            def helper():
+                for x in {1, 2}:
+                    return x
+        """, rule="determinism-unordered-iter", subdir="analysis")
+        assert findings == []
+
+
+class TestDataflow:
+    def test_id_flowing_into_state_flagged_with_location(self, tmp_path):
+        path, findings = lint_source(tmp_path, """
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def on_fill(self, set_index, way, access):
+                    token = id(access)
+                    self._sig[set_index] = token
+        """, rule="determinism-dataflow")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "determinism-dataflow"
+        assert finding.path == str(path)
+        assert finding.line == 7
+        assert "self._sig" in finding.message
+
+    def test_time_into_return_value_flagged(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            import time
+
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def find_victim(self, set_index, access, tags):
+                    now = time.monotonic()
+                    return int(now) % len(tags)
+        """, rule="determinism-dataflow")
+        assert [f.line for f in findings] == [9]
+        assert "return value" in findings[0].message
+
+    def test_tainted_table_index_flagged(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def on_hit(self, set_index, way, access):
+                    slot = id(access) % 256
+                    self._table[slot] += 1
+        """, rule="determinism-dataflow")
+        assert findings
+        assert any("table index" in f.message for f in findings)
+
+    def test_pure_arithmetic_is_clean(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def on_fill(self, set_index, way, access):
+                    sig = (access.pc >> 4) % 1024
+                    self._sig[set_index] = sig
+        """, rule="determinism-dataflow")
+        assert findings == []
+
+
+class TestEnvRead:
+    def test_environ_read_flagged_with_location(self, tmp_path):
+        path, findings = lint_source(tmp_path, """
+            import os
+
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def find_victim(self, set_index, access, tags):
+                    if os.environ.get("REPRO_FAST"):
+                        return 0
+                    return 1
+        """, rule="determinism-env")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "determinism-env"
+        assert finding.path == str(path)
+        assert finding.line == 8
+
+    def test_getenv_flagged(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            from os import getenv
+
+            def pick():
+                return getenv("MODE", "ref")
+        """, rule="determinism-env")
+        assert len(findings) == 1
+
+    def test_env_free_module_is_clean(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def find_victim(self, set_index, access, tags):
+                    return 0
+        """, rule="determinism-env")
+        assert findings == []

@@ -1,0 +1,165 @@
+"""Salt-closure pass tests: fixture trees, the live tree, and a tampered copy.
+
+The acceptance test for the whole pass: adding an out-of-closure import
+to a (temp) copy of the live simulator must fire the error, and on the
+real tree the static closure must agree with what ``simulator_salt()``
+actually hashes.
+"""
+
+import shutil
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.lint import Severity, lint_paths, make_rule, salt_closure_report
+from repro.lint.analyzer import build_context, package_root
+from repro.lint.imports import build_import_graph, module_name_for
+
+
+def make_tree(tmp_path, salt_literal, simulator_body="from ..mem import fastpath\n"):
+    """A minimal package with the three entry points and one extra module."""
+    root = tmp_path / "pkg"
+    for sub in ("", "harness", "core", "mem", "policies"):
+        d = root / sub if sub else root
+        d.mkdir(parents=True, exist_ok=True)
+        (d / "__init__.py").write_text("")
+    (root / "harness" / "engine.py").write_text(
+        f"SALT_SOURCE_PACKAGES = {salt_literal}\n"
+    )
+    (root / "core" / "simulator.py").write_text(simulator_body)
+    (root / "mem" / "fastpath_helpers.py").write_text("")
+    (root / "mem" / "fastpath.py").write_text("from . import fastpath_helpers\n")
+    (root / "policies" / "registry.py").write_text("from . import basic\n")
+    (root / "policies" / "basic.py").write_text("")
+    (root / "util.py").write_text("")
+    return root
+
+
+def closure_findings(root):
+    return lint_paths([root], [make_rule("salt-closure")])
+
+
+class TestFixtureTrees:
+    def test_uncovered_reachable_module_is_an_error(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            '("core", "mem", "policies")',
+            simulator_body="from ..mem import fastpath\nfrom ..util import helper\n",
+        )
+        findings = closure_findings(root)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "salt-closure"
+        assert finding.severity == Severity.ERROR
+        assert finding.path == str(root / "harness" / "engine.py")
+        assert finding.line == 1  # the SALT_SOURCE_PACKAGES assignment
+        assert "pkg.util" in finding.message
+
+    def test_covered_tree_is_clean(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            '("core", "mem", "policies", "util.py")',
+            simulator_body="from ..mem import fastpath\nfrom ..util import helper\n",
+        )
+        assert closure_findings(root) == []
+
+    def test_unreachable_module_needs_no_coverage(self, tmp_path):
+        # util.py exists but nothing imports it: not part of the closure.
+        root = make_tree(tmp_path, '("core", "mem", "policies")')
+        assert closure_findings(root) == []
+
+    def test_single_module_spec_covers_only_that_module(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            '("core", "policies", "mem/fastpath.py")',
+        )
+        findings = closure_findings(root)
+        # fastpath.py itself is covered; its helper module is not.
+        assert len(findings) == 1
+        assert "pkg.mem.fastpath_helpers" in findings[0].message
+
+    def test_non_literal_salt_is_flagged_as_unverifiable(self, tmp_path):
+        root = make_tree(tmp_path, "tuple(sorted(PACKAGES))")
+        findings = closure_findings(root)
+        assert len(findings) == 1
+        assert "not a literal tuple" in findings[0].message
+
+    def test_report_exposes_entries_and_reachable(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            '("core", "mem", "policies")',
+            simulator_body="from ..mem import fastpath\nfrom ..util import helper\n",
+        )
+        ctx, _ = build_context([root])
+        report = salt_closure_report(ctx)
+        assert report is not None
+        assert sorted(report.entries) == [
+            "pkg.core.simulator", "pkg.mem.fastpath", "pkg.policies.registry",
+        ]
+        assert "pkg.util" in report.reachable
+        assert report.uncovered == ["pkg.util"]
+
+
+class TestLiveTree:
+    def test_live_closure_is_fully_covered(self):
+        ctx, _ = build_context([package_root()])
+        report = salt_closure_report(ctx)
+        assert report is not None
+        assert len(report.entries) == 3
+        assert report.uncovered == []
+
+    def test_static_closure_agrees_with_simulator_salt(self):
+        """Every module the lint pass proves reachable is actually hashed."""
+        from repro.harness.engine import salt_source_files
+
+        ctx, _ = build_context([package_root()])
+        report = salt_closure_report(ctx)
+        graph = build_import_graph(ctx)
+        hashed = {str(p) for p in salt_source_files()}
+        missing = sorted(
+            name
+            for name in report.reachable
+            if str(Path(graph.modules[name].path).resolve()) not in hashed
+        )
+        assert missing == [], (
+            "modules reachable from the simulation but not hashed into "
+            f"simulator_salt(): {missing}"
+        )
+
+
+class TestTamperedCopy:
+    def test_out_of_closure_import_on_simulator_copy_fires(self, tmp_path):
+        """The acceptance criterion: tamper with a copy, the error fires."""
+        src = Path(repro.__file__).resolve().parent
+        copy = tmp_path / "repro"
+        shutil.copytree(
+            src, copy, ignore=shutil.ignore_patterns("__pycache__")
+        )
+        # The copy is clean as shipped...
+        assert closure_findings(copy) == []
+        # ...until the simulator grows a dependency outside the salt.
+        (copy / "rogue.py").write_text("ROGUE_CONSTANT = 1\n")
+        simulator = copy / "core" / "simulator.py"
+        simulator.write_text(
+            simulator.read_text()
+            + "\nfrom ..rogue import ROGUE_CONSTANT  # planted\n"
+        )
+        findings = closure_findings(copy)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "salt-closure"
+        assert finding.severity == Severity.ERROR
+        assert finding.path.endswith("harness/engine.py")
+        assert "repro.rogue" in finding.message
+
+
+class TestModuleNames:
+    def test_module_name_walks_init_chain(self, tmp_path):
+        root = make_tree(tmp_path, "()")
+        assert module_name_for(root / "core" / "simulator.py") == "pkg.core.simulator"
+        assert module_name_for(root / "__init__.py") == "pkg"
+
+    def test_orphan_file_has_no_module_name(self, tmp_path):
+        orphan = tmp_path / "loose.py"
+        orphan.write_text("")
+        assert module_name_for(orphan) is None

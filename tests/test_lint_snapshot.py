@@ -1,0 +1,236 @@
+"""Fixture tests for the snapshot-completeness pass.
+
+A deliberately incomplete toy policy must be flagged with the exact
+rule/file/line, covered variants (direct reads, helper closure, super()
+chains, property indirection) must pass, and the inventory helpers are
+checked directly where the aggregate behaviour would hide a regression.
+"""
+
+import textwrap
+
+from repro.lint import Severity, lint_paths, make_rule
+from repro.lint.analyzer import build_context
+from repro.lint.inventory import state_inventory
+
+
+def lint_source(tmp_path, source):
+    target = tmp_path / "policies"
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / "fixture.py"
+    path.write_text(textwrap.dedent(source))
+    return path, lint_paths([path], [make_rule("snapshot-completeness")])
+
+
+INCOMPLETE = """
+class Leaky(ReplacementPolicy):
+    name = "leaky"
+
+    def initialize(self, num_sets, num_ways):
+        self._stamp = [[0] * num_ways for _ in range(num_sets)]
+        self._history = []
+        self._clock = 0
+
+    def find_victim(self, set_index, access, tags):
+        return 0
+
+    def on_hit(self, set_index, way, access):
+        self._clock += 1
+        self._stamp[set_index][way] = self._clock
+
+    def on_fill(self, set_index, way, access):
+        self._history.append(access.block)
+
+    def snapshot_state(self):
+        return {"clock": self._clock}
+"""
+
+
+class TestIncompletePolicy:
+    def test_missing_state_flagged_at_snapshot_def(self, tmp_path):
+        path, findings = lint_source(tmp_path, INCOMPLETE)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "snapshot-completeness"
+        assert finding.path == str(path)
+        assert finding.line == 20  # the snapshot_state() def line
+        assert finding.severity == Severity.WARNING
+        assert "Leaky.snapshot_state()" in finding.message
+        assert "_history" in finding.message and "_stamp" in finding.message
+        assert "_clock" not in finding.message  # covered
+
+    def test_mutating_hooks_named(self, tmp_path):
+        _, findings = lint_source(tmp_path, INCOMPLETE)
+        message = findings[0].message
+        assert "on_fill" in message  # _history's mutator
+        assert "on_hit" in message  # _stamp's mutator
+
+    def test_missing_snapshot_anchors_at_class(self, tmp_path):
+        path, findings = lint_source(tmp_path, """
+            class NoSnapshot(ReplacementPolicy):
+                name = "nosnap"
+
+                def initialize(self, num_sets, num_ways):
+                    self._bits = [0] * num_sets
+
+                def find_victim(self, set_index, access, tags):
+                    return 0
+
+                def on_hit(self, set_index, way, access):
+                    self._bits[set_index] = 1
+
+                def on_fill(self, set_index, way, access):
+                    self._bits[set_index] = 1
+        """)
+        assert len(findings) == 1
+        assert findings[0].line == 2  # the class line: no own snapshot_state
+
+
+class TestCoveredVariants:
+    def test_aggregate_coverage_passes(self, tmp_path):
+        _, findings = lint_source(tmp_path, INCOMPLETE + """
+class Fixed(Leaky):
+    name = "fixed"
+
+    def snapshot_state(self):
+        return {
+            "clock": self._clock,
+            "history_depth": len(self._history),
+            "stamps_nonzero": sum(1 for r in self._stamp for s in r if s),
+        }
+""")
+        assert [f.message for f in findings if "Fixed" in f.message] == []
+
+    def test_super_chain_coverage_passes(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            class Base(ReplacementPolicy):
+                name = "base"
+
+                def initialize(self, num_sets, num_ways):
+                    self._clock = 0
+
+                def find_victim(self, set_index, access, tags):
+                    return 0
+
+                def on_hit(self, set_index, way, access):
+                    self._clock += 1
+
+                def on_fill(self, set_index, way, access):
+                    self._clock += 1
+
+                def snapshot_state(self):
+                    return {"clock": self._clock}
+
+            class Child(Base):
+                name = "child"
+
+                def initialize(self, num_sets, num_ways):
+                    super().initialize(num_sets, num_ways)
+                    self._fills = 0
+
+                def on_fill(self, set_index, way, access):
+                    super().on_fill(set_index, way, access)
+                    self._fills += 1
+
+                def snapshot_state(self):
+                    state = super().snapshot_state()
+                    state["fills"] = self._fills
+                    return state
+        """)
+        assert findings == []
+
+    def test_property_indirection_counts_as_coverage(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            class ViaProperty(ReplacementPolicy):
+                name = "viaprop"
+
+                def initialize(self, num_sets, num_ways):
+                    self._hits = 0
+
+                def find_victim(self, set_index, access, tags):
+                    return 0
+
+                def on_hit(self, set_index, way, access):
+                    self._hits += 1
+
+                def on_fill(self, set_index, way, access):
+                    pass
+
+                @property
+                def hit_total(self):
+                    return self._hits
+
+                def snapshot_state(self):
+                    return {"hits": self.hit_total}
+        """)
+        assert findings == []
+
+    def test_abstract_base_not_flagged(self, tmp_path):
+        _, findings = lint_source(tmp_path, """
+            import abc
+
+            class Framework(ReplacementPolicy, abc.ABC):
+                name = ""
+
+                def initialize(self, num_sets, num_ways):
+                    self._count = 0
+
+                def on_hit(self, set_index, way, access):
+                    self._count += 1
+
+                @abc.abstractmethod
+                def find_victim(self, set_index, access, tags):
+                    ...
+        """)
+        assert findings == []
+
+
+class TestInventory:
+    def test_alias_subscript_store_counts_rebinding_does_not(self, tmp_path):
+        target = tmp_path / "policies"
+        target.mkdir()
+        path = target / "fixture.py"
+        path.write_text(textwrap.dedent("""
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def initialize(self, num_sets, num_ways):
+                    self._table = [[0] * num_ways for _ in range(num_sets)]
+                    self._role = [0] * num_sets
+
+                def find_victim(self, set_index, access, tags):
+                    return 0
+
+                def on_hit(self, set_index, way, access):
+                    row = self._table[set_index]
+                    row[way] = 1  # store through the alias: mutation
+
+                def on_fill(self, set_index, way, access):
+                    role = self._role[set_index]
+                    role = role + 1  # bare rebinding: NOT a mutation
+        """))
+        ctx, _ = build_context([path])
+        cls = ctx.class_by_name["P"]
+        inventory = state_inventory(ctx, cls)
+        assert "_table" in inventory.mutable
+        assert "_role" not in inventory.mutable
+
+    def test_method_call_on_state_counts_as_mutation(self, tmp_path):
+        target = tmp_path / "policies"
+        target.mkdir()
+        path = target / "fixture.py"
+        path.write_text(textwrap.dedent("""
+            class P(ReplacementPolicy):
+                name = "p"
+
+                def initialize(self, num_sets, num_ways):
+                    self._history = []
+
+                def find_victim(self, set_index, access, tags):
+                    return 0
+
+                def on_fill(self, set_index, way, access):
+                    self._history.append(access.block)
+        """))
+        ctx, _ = build_context([path])
+        inventory = state_inventory(ctx, ctx.class_by_name["P"])
+        assert inventory.mutated_by["_history"] == {"on_fill"}

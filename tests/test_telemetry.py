@@ -251,10 +251,26 @@ class TestPolicySnapshots:
         assert 0 <= state["psel"] <= state["psel_max"]
 
     def test_default_snapshot_is_empty_dict(self):
-        from repro.policies.registry import make_policy
+        from repro.policies.base import ReplacementPolicy
 
-        policy = make_policy("random")
-        assert policy.snapshot_state() == {}
+        class Plain(ReplacementPolicy):
+            name = "plain-test-only"
+
+            def find_victim(self, set_index, access, tags):
+                return 0
+
+            def on_hit(self, set_index, way, access):
+                pass
+
+            def on_fill(self, set_index, way, access):
+                pass
+
+        assert Plain().snapshot_state() == {}
+
+    def test_random_snapshot_pins_rng_position(self, zipf):
+        state = self._final_state(zipf, "random")
+        assert state["seed"] == 0xCACE
+        assert isinstance(state["rng_state_word"], int)
 
 
 class TestEngineIntegration:

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples experiments lint typecheck check clean
+.PHONY: install test bench bench-smoke bench-batched examples experiments lint typecheck check clean
 
 install:
 	pip install -e .[dev]
@@ -27,6 +27,16 @@ bench-smoke:
 		benchmarks/bench_fig2_mpki.py benchmarks/bench_fig3_speedup.py \
 		--benchmark-only -q
 	REPRO_SMOKE=1 $(PYTHON) benchmarks/check_regression.py
+
+# The batched-engine smoke mirror of bench-smoke: prove the batched
+# multi-cell engine bit-identical to the reference, append a throughput
+# entry to BENCH_sweep.json, and gate it against the last entry
+# (see docs/performance.md and .github/workflows/ci.yml).
+bench-batched:
+	PYTHONPATH=src $(PYTHON) -m repro verify-fastpath --engine batched \
+		--accesses 6000
+	REPRO_SMOKE=1 PYTHONPATH=src $(PYTHON) benchmarks/record_trajectory.py
+	REPRO_SMOKE=1 $(PYTHON) benchmarks/check_regression.py --trajectory
 
 examples:
 	$(PYTHON) examples/quickstart.py

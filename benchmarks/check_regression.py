@@ -23,6 +23,14 @@ Regenerate the baseline after an intentional change with::
     REPRO_SMOKE=1 python -m pytest benchmarks/bench_fig2_mpki.py \
         benchmarks/bench_fig3_speedup.py --benchmark-only
     python benchmarks/check_regression.py --update
+
+``--trajectory`` switches to the performance-trajectory gate instead:
+it reads the checked-in ``BENCH_sweep.json`` (appended to by
+``benchmarks/record_trajectory.py``), fails when the latest entry's
+per-engine throughput regressed more than 15% against the previous
+entry, or when the batched engine's wall-clock speed-up over the
+per-cell fast path fell below the floor (3x), and posts a markdown
+trend table to ``--markdown`` (CI: ``$GITHUB_STEP_SUMMARY``).
 """
 
 from __future__ import annotations
@@ -35,6 +43,18 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).parent
 DEFAULT_RESULTS = BENCH_DIR / "results"
 DEFAULT_EXPECTED = BENCH_DIR / "expected" / "smoke.json"
+DEFAULT_TRAJECTORY = BENCH_DIR.parent / "BENCH_sweep.json"
+
+#: Maximum tolerated drop of an engine's cells/second between the last
+#: two trajectory entries. Absolute throughput is host-sensitive, so
+#: this is deliberately loose; the speed-up ratio below is the sharp
+#: (host-independent) part of the gate.
+TRAJECTORY_REGRESSION_LIMIT = 0.15
+
+#: Floor on the batched engine's wall-clock speed-up over the per-cell
+#: fast engine in the latest entry. Both engines run in the same
+#: process on the same matrix, so this ratio is robust to host speed.
+MIN_BATCHED_SPEEDUP = 3.0
 
 #: (results file, scale-note keys) per gated experiment.
 GATED = {
@@ -178,6 +198,114 @@ def check(results_dir: Path, expected_path: Path, markdown: Path | None = None) 
     return 0
 
 
+def _trajectory_markdown(entries: list[dict], failures: list[str]) -> str:
+    """The trajectory's recent entries as a job-summary trend table."""
+    verdict = (
+        "✅ throughput trajectory healthy"
+        if not failures
+        else f"❌ {len(failures)} failure(s)"
+    )
+    lines = [
+        "## Sweep-throughput trajectory",
+        "",
+        f"`BENCH_sweep.json`, {len(entries)} entries: {verdict}",
+        "",
+        "| date | commit | cells | jobs | fast cells/s | batched cells/s | batched speed-up |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for entry in entries[-8:]:
+        engines = entry.get("engines", {})
+        fast = engines.get("fast", {}).get("cells_per_sec")
+        batched = engines.get("batched", {}).get("cells_per_sec")
+        lines.append(
+            f"| {entry.get('date', '?')} | {str(entry.get('git_sha', '?'))[:12]} "
+            f"| {entry.get('matrix', {}).get('cells', '?')} "
+            f"| {entry.get('jobs', '?')} "
+            f"| {fast if fast is not None else '—'} "
+            f"| {batched if batched is not None else '—'} "
+            f"| {entry.get('batched_speedup', '—')}x |"
+        )
+    if failures:
+        lines += ["", "Failures:", ""]
+        lines += [f"- {f}" for f in failures]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def check_trajectory(
+    trajectory_path: Path,
+    markdown: Path | None = None,
+    regression_limit: float = TRAJECTORY_REGRESSION_LIMIT,
+    min_speedup: float = MIN_BATCHED_SPEEDUP,
+) -> int:
+    """Gate the latest ``BENCH_sweep.json`` entry; see module docstring."""
+    if not trajectory_path.is_file():
+        raise GateError(
+            f"missing trajectory file: {trajectory_path} "
+            "(record an entry with benchmarks/record_trajectory.py first)"
+        )
+    document = json.loads(trajectory_path.read_text(encoding="utf-8"))
+    entries = document.get("entries", [])
+    if not entries:
+        raise GateError(
+            f"{trajectory_path} contains no entries "
+            "(record one with benchmarks/record_trajectory.py first)"
+        )
+
+    failures: list[str] = []
+    latest = entries[-1]
+    previous = entries[-2] if len(entries) >= 2 else None
+
+    speedup = latest.get("batched_speedup")
+    if not isinstance(speedup, (int, float)):
+        failures.append("latest entry records no batched_speedup")
+    elif speedup < min_speedup:
+        failures.append(
+            f"batched engine speed-up {speedup:.2f}x fell below the "
+            f"{min_speedup:.1f}x floor (latest entry {latest.get('git_sha', '?')[:12]})"
+        )
+    else:
+        print(
+            f"batched speed-up {speedup:.2f}x over the per-cell fast engine "
+            f"(floor {min_speedup:.1f}x): ok"
+        )
+
+    if previous is not None:
+        for engine, current in sorted(latest.get("engines", {}).items()):
+            before = previous.get("engines", {}).get(engine)
+            if before is None:
+                continue
+            got = current.get("cells_per_sec", 0.0)
+            want = before.get("cells_per_sec", 0.0)
+            floor = want * (1.0 - regression_limit)
+            ok = got >= floor
+            print(
+                f"{engine:>8}: {got:8.2f} cells/s vs previous {want:8.2f} "
+                f"(floor {floor:8.2f})  {'ok' if ok else 'REGRESSION'}"
+            )
+            if not ok:
+                failures.append(
+                    f"{engine} engine throughput regressed "
+                    f"{100 * (1 - got / want):.1f}% "
+                    f"({got:.2f} vs {want:.2f} cells/s, "
+                    f"limit {100 * regression_limit:.0f}%)"
+                )
+    else:
+        print("single trajectory entry: nothing to compare against yet")
+
+    if markdown is not None:
+        with open(markdown, "a", encoding="utf-8") as handle:
+            handle.write(_trajectory_markdown(entries, failures) + "\n")
+        print(f"appended markdown trend table to {markdown}")
+    if failures:
+        print(f"{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("sweep-throughput trajectory gate: OK")
+    return 0
+
+
 def update(results_dir: Path, expected_path: Path) -> int:
     """Capture the current results as the new baseline."""
     fig3 = _load_report(results_dir, GATED["fig3_speedup"][0])
@@ -219,8 +347,24 @@ def main(argv: list[str] | None = None) -> int:
                              "(CI passes $GITHUB_STEP_SUMMARY)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current results")
+    parser.add_argument("--trajectory", action="store_true",
+                        help="gate the BENCH_sweep.json perf trajectory "
+                             "instead of the results/ artifacts")
+    parser.add_argument("--trajectory-file", type=Path,
+                        default=DEFAULT_TRAJECTORY, metavar="PATH",
+                        help="trajectory file (default: BENCH_sweep.json)")
+    parser.add_argument("--min-batched-speedup", type=float,
+                        default=MIN_BATCHED_SPEEDUP, metavar="RATIO",
+                        help="floor on batched-vs-fast wall-clock speed-up "
+                             f"(default: {MIN_BATCHED_SPEEDUP})")
     args = parser.parse_args(argv)
     try:
+        if args.trajectory:
+            return check_trajectory(
+                args.trajectory_file,
+                markdown=args.markdown,
+                min_speedup=args.min_batched_speedup,
+            )
         if args.update:
             return update(args.results, args.expected)
         return check(args.results, args.expected, markdown=args.markdown)

@@ -175,6 +175,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sanitize=args.sanitize,
         engine=engine,
         retry=_retry_policy_from(args),
+        cell_engine=args.engine,
     )
     rows = [
         [w, *[matrix.speedup(w, p) for p in policies[1:]]]
@@ -398,6 +399,7 @@ def cmd_verify_fastpath(args: argparse.Namespace) -> int:
         warmup_fractions=tuple(args.warmup),
         include_telemetry=not args.no_telemetry,
         progress=args.verbose,
+        engine=args.engine,
     )
     print(report.render())
     return 0 if report.passed else 1
@@ -442,6 +444,12 @@ def main(argv: list[str] | None = None) -> int:
                          help="disable the on-disk result cache")
     p_sweep.add_argument("--sanitize", action="store_true",
                          help="arm runtime invariant checks on every cache level")
+    p_sweep.add_argument("--engine", default="fast",
+                         choices=("fast", "reference", "batched"),
+                         help="simulation engine for uncached cells: "
+                              "'batched' shares one decoded access stream "
+                              "across all eligible policies per workload "
+                              "(default: fast; all bit-identical)")
     _add_retry_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -537,7 +545,10 @@ def main(argv: list[str] | None = None) -> int:
 
     p_vf = sub.add_parser(
         "verify-fastpath",
-        help="prove engine='fast' bit-identical to engine='reference'")
+        help="prove an optimized engine bit-identical to the reference")
+    p_vf.add_argument("--engine", default="fast", choices=("fast", "batched"),
+                      help="candidate engine to compare against the "
+                           "reference (default: fast)")
     p_vf.add_argument("--policies", nargs="*", choices=available_policies(),
                       help="subset of policies (default: all registered)")
     p_vf.add_argument("--accesses", type=int, default=12_000,

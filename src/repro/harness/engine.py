@@ -42,7 +42,7 @@ from typing import TYPE_CHECKING, Callable
 from ..core.config import MachineConfig, cascade_lake
 from ..core.results import RESULT_SCHEMA_VERSION, SimulationResult
 from ..core.simulator import DEFAULT_WARMUP_FRACTION, simulate
-from ..errors import CacheIntegrityError, SimulationError
+from ..errors import CacheIntegrityError, ConfigurationError, SimulationError
 from ..resilience.executor import ResilientExecutor
 from ..resilience.policy import FailureKind, RetryPolicy
 from ..resilience.report import FailureReport
@@ -548,6 +548,7 @@ def _simulate_cell(
     warmup_fraction: float,
     sanitize: bool,
     telemetry: TelemetryConfig | None = None,
+    engine: str = "fast",
 ) -> tuple[str, str, SimulationResult]:
     """Worker entry point: simulate one cell (runs in a pool process)."""
     result = simulate(
@@ -557,8 +558,128 @@ def _simulate_cell(
         warmup_fraction=warmup_fraction,
         sanitize=sanitize,
         telemetry=telemetry,
+        engine=engine,
     )
     return workload, policy, result
+
+
+#: Per-worker trace registry installed by the pool initializer. Lives at
+#: module scope so worker processes (which import this module afresh)
+#: can resolve traces submitted by name instead of by value.
+_WORKER_TRACES: dict[str, Trace] = {}
+
+
+def _install_worker_traces(traces: dict[str, Trace]) -> None:
+    """Pool initializer: materialize the sweep's traces in this worker.
+
+    Runs once per worker process, so each trace crosses the process
+    boundary at most once per worker instead of once per (cell ×
+    attempt) submission — previously a P-policy sweep re-pickled every
+    trace P times (more under retries).
+    """
+    _WORKER_TRACES.clear()
+    _WORKER_TRACES.update(traces)
+
+
+def _simulate_cell_by_name(
+    workload: str,
+    policy: str,
+    config: MachineConfig,
+    warmup_fraction: float,
+    sanitize: bool,
+    telemetry: TelemetryConfig | None = None,
+    engine: str = "fast",
+) -> tuple[str, str, SimulationResult]:
+    """Worker entry point resolving the trace from the worker registry."""
+    trace = _WORKER_TRACES.get(workload)
+    if trace is None:
+        raise SimulationError(
+            f"worker has no registered trace for workload {workload!r}; "
+            "was the pool created without the trace initializer?"
+        )
+    return _simulate_cell(
+        workload, policy, trace, config, warmup_fraction, sanitize, telemetry,
+        engine,
+    )
+
+
+def _pending_traces(
+    pending: list[tuple[str, str]], traces: dict[str, Trace]
+) -> dict[str, Trace]:
+    """The subset of traces the pending cells actually reference."""
+    needed: dict[str, Trace] = {}
+    for workload, _ in pending:
+        if workload not in needed:
+            needed[workload] = traces[workload]
+    return needed
+
+
+def _simulate_group(
+    workload: str,
+    policies: list[str],
+    trace: Trace,
+    config: MachineConfig,
+    warmup_fraction: float,
+    telemetry: TelemetryConfig | None = None,
+) -> tuple[str, list[tuple[str, bool, SimulationResult | None]]]:
+    """Worker entry point: one trace's cells through a shared batch plan.
+
+    Builds one :class:`~repro.mem.batch.BatchPlan` and replays every
+    batch-eligible policy against it. Returns per-policy outcomes as
+    ``(policy, completed, result)``; cells that are not batch-eligible,
+    or whose batched attempt raised, come back ``completed=False`` so
+    the engine can route them through the ordinary per-cell machinery
+    (with its own failure classification and retry semantics) instead of
+    failing the whole group.
+    """
+    from ..core.simulator import build_hierarchy
+    from ..mem.batch import BatchSimulator, batch_eligible
+
+    sim: BatchSimulator | None = None
+    plan_failed = False
+    outcomes: list[tuple[str, bool, SimulationResult | None]] = []
+    for policy in policies:
+        try:
+            hierarchy = build_hierarchy(config, policy)
+            if plan_failed or not batch_eligible(hierarchy, trace):
+                outcomes.append((policy, False, None))
+                continue
+            if sim is None:
+                try:
+                    sim = BatchSimulator(trace, config, warmup_fraction, telemetry)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception:
+                    # Plan construction is shared state: if it fails once
+                    # it fails for every policy, so stop re-attempting.
+                    plan_failed = True
+                    outcomes.append((policy, False, None))
+                    continue
+            outcomes.append((policy, True, sim.run_cell(policy, hierarchy)))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            outcomes.append((policy, False, None))
+    return workload, outcomes
+
+
+def _simulate_group_by_name(
+    workload: str,
+    policies: list[str],
+    config: MachineConfig,
+    warmup_fraction: float,
+    telemetry: TelemetryConfig | None = None,
+) -> tuple[str, list[tuple[str, bool, SimulationResult | None]]]:
+    """Group worker entry resolving the trace from the worker registry."""
+    trace = _WORKER_TRACES.get(workload)
+    if trace is None:
+        raise SimulationError(
+            f"worker has no registered trace for workload {workload!r}; "
+            "was the pool created without the trace initializer?"
+        )
+    return _simulate_group(
+        workload, policies, trace, config, warmup_fraction, telemetry
+    )
 
 
 class SweepEngine:
@@ -613,6 +734,7 @@ class SweepEngine:
         telemetry: TelemetryConfig | None = None,
         retry: RetryPolicy | None = None,
         chaos: "ChaosPlan | None" = None,
+        engine: str = "fast",
     ) -> SweepOutcome:
         """Run every (trace, policy) cell and assemble a :class:`RunMatrix`.
 
@@ -638,7 +760,20 @@ class SweepEngine:
         faults from a seeded schedule (see
         :mod:`repro.resilience.chaos`); neither knob affects cell cache
         keys because neither changes what a *successful* cell computes.
+
+        ``engine`` selects the simulation engine for uncached cells:
+        ``"fast"`` (default) and ``"reference"`` run per cell;
+        ``"batched"`` (:mod:`repro.mem.batch`) groups cells by workload
+        and replays every batch-eligible policy against one shared
+        access-stream plan, falling back to the ordinary per-cell path
+        for ineligible or failed cells. All three are bit-identical, so
+        the engine choice is deliberately *not* part of the cache key.
         """
+        if engine not in ("fast", "reference", "batched"):
+            raise ConfigurationError(
+                f"unknown sweep engine {engine!r}; "
+                "expected 'fast', 'reference' or 'batched'"
+            )
         if isinstance(traces, list):
             traces = {t.name: t for t in traces}
         if config is None:
@@ -696,12 +831,23 @@ class SweepEngine:
                 classification=classification,
             )
 
+        # Batched execution runs first and only handles what it can:
+        # eligible cells complete through shared per-trace plans, the
+        # rest fall through to the ordinary per-cell machinery below
+        # (which preserves retry classification, chaos injection and
+        # sanitizer semantics the batch path deliberately excludes).
+        cell_engine = "fast" if engine == "batched" else engine
+        if engine == "batched" and pending and not sanitize and chaos is None:
+            pending = self._run_batched(
+                pending, traces, config, warmup_fraction, telemetry, record,
+            )
+
         failure_report: FailureReport | None = None
         if retry is not None or chaos is not None:
             failure_report = self._run_resilient(
                 pending, traces, config, warmup_fraction, sanitize, telemetry,
                 retry if retry is not None else RetryPolicy(),
-                chaos, record, record_failure,
+                chaos, record, record_failure, cell_engine,
             )
             if self.cache is not None:
                 failure_report.quarantined_cache_entries = (
@@ -710,14 +856,14 @@ class SweepEngine:
         elif self.jobs > 1 and len(pending) > 1:
             self._run_parallel(
                 pending, traces, config, warmup_fraction, sanitize, telemetry,
-                record, record_failure,
+                record, record_failure, cell_engine,
             )
         else:
             for workload, policy in pending:
                 try:
                     _, _, result = _simulate_cell(
                         workload, policy, traces[workload], config,
-                        warmup_fraction, sanitize, telemetry,
+                        warmup_fraction, sanitize, telemetry, cell_engine,
                     )
                 except (KeyboardInterrupt, SystemExit):
                     raise  # never swallowed into a CellError
@@ -759,6 +905,7 @@ class SweepEngine:
         chaos: "ChaosPlan | None",
         record: Callable[[str, str, SimulationResult], None],
         record_failure: Callable[..., None],
+        engine: str = "fast",
     ) -> FailureReport:
         """Run pending cells through the fault-tolerant executor.
 
@@ -782,15 +929,17 @@ class SweepEngine:
                 )
         else:
             def submit(pool, workload: str, policy: str, attempt: int):  # noqa: ARG001
+                # Traces live in the worker-side registry (installed by
+                # the pool initializer below); submit names only.
                 return pool.submit(
-                    _simulate_cell, workload, policy, traces[workload],
-                    config, warmup_fraction, sanitize, telemetry,
+                    _simulate_cell_by_name, workload, policy,
+                    config, warmup_fraction, sanitize, telemetry, engine,
                 )
 
         def run_inline(workload: str, policy: str, attempt: int):  # noqa: ARG001
             return _simulate_cell(
                 workload, policy, traces[workload], config, warmup_fraction,
-                sanitize, telemetry,
+                sanitize, telemetry, engine,
             )
 
         def on_success(workload: str, policy: str, payload: object) -> None:
@@ -802,14 +951,27 @@ class SweepEngine:
         ) -> None:
             record_failure(workload, policy, exc, classification=kind.value)
 
+        workers = min(self.jobs, len(pending)) or 1
+
+        def pool_factory() -> ProcessPoolExecutor:
+            # Every pool generation (including watchdog rebuilds) gets
+            # the trace registry, so by-name submission keeps working
+            # after a pool recycle.
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_install_worker_traces,
+                initargs=(_pending_traces(pending, traces),),
+            )
+
         executor = ResilientExecutor(
             retry=retry,
-            workers=min(self.jobs, len(pending)) or 1,
+            workers=workers,
             submit=submit,
             run_inline=run_inline,
             on_success=on_success,
             on_failure=on_failure,
             report=report,
+            pool_factory=pool_factory,
         )
         if use_pool and pending:
             executor.run_pool(pending)
@@ -827,6 +989,7 @@ class SweepEngine:
         telemetry: TelemetryConfig | None,
         record: Callable[[str, str, SimulationResult], None],
         record_failure: Callable[..., None],
+        engine: str = "fast",
     ) -> None:
         """Fan pending cells out over a process pool, streaming results.
 
@@ -835,11 +998,15 @@ class SweepEngine:
         everything already finished.
         """
         workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_install_worker_traces,
+            initargs=(_pending_traces(pending, traces),),
+        ) as pool:
             futures: dict[Future, tuple[str, str]] = {
                 pool.submit(
-                    _simulate_cell, workload, policy, traces[workload],
-                    config, warmup_fraction, sanitize, telemetry,
+                    _simulate_cell_by_name, workload, policy,
+                    config, warmup_fraction, sanitize, telemetry, engine,
                 ): (workload, policy)
                 for workload, policy in pending
             }
@@ -870,3 +1037,94 @@ class SweepEngine:
                 # already checkpointed in the cache.
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
+
+    def _run_batched(
+        self,
+        pending: list[tuple[str, str]],
+        traces: dict[str, Trace],
+        config: MachineConfig,
+        warmup_fraction: float,
+        telemetry: TelemetryConfig | None,
+        record: Callable[[str, str, SimulationResult], None],
+    ) -> list[tuple[str, str]]:
+        """Run pending cells through per-trace batch plans.
+
+        Cells are grouped by workload and each group runs every
+        batch-eligible policy against one shared
+        :class:`~repro.mem.batch.BatchPlan` (trace decoded once, core +
+        upper-hierarchy work amortized across policies). Completed cells
+        are recorded (and checkpointed) immediately; everything the
+        batch path could not complete — ineligible policies, plan
+        failures, individual cell errors, whole-group worker crashes —
+        is returned in deterministic order for the ordinary per-cell
+        machinery, which owns failure classification and retries.
+        """
+        groups: dict[str, list[str]] = {}
+        for workload, policy in pending:
+            groups.setdefault(workload, []).append(policy)
+        leftover: set[tuple[str, str]] = set()
+
+        def consume(
+            workload: str,
+            outcomes: list[tuple[str, bool, SimulationResult | None]],
+        ) -> None:
+            for policy, completed, result in outcomes:
+                if completed and result is not None:
+                    record(workload, policy, result)
+                else:
+                    leftover.add((workload, policy))
+
+        if self.jobs > 1 and len(groups) > 1:
+            workers = min(self.jobs, len(groups))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_install_worker_traces,
+                initargs=(_pending_traces(pending, traces),),
+            ) as pool:
+                futures: dict[Future, tuple[str, list[str]]] = {
+                    pool.submit(
+                        _simulate_group_by_name, workload, policies,
+                        config, warmup_fraction, telemetry,
+                    ): (workload, policies)
+                    for workload, policies in groups.items()
+                }
+                outstanding = set(futures)
+                try:
+                    while outstanding:
+                        done, outstanding = wait(
+                            outstanding, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            workload, policies = futures[future]
+                            try:
+                                _, outcomes = future.result()
+                            except (KeyboardInterrupt, SystemExit):
+                                raise
+                            except Exception:
+                                # A group-level fault (worker death,
+                                # registry miss) forfeits only this
+                                # trace's batch; its cells retry per
+                                # cell where failures are classified.
+                                leftover.update(
+                                    (workload, policy) for policy in policies
+                                )
+                            else:
+                                consume(workload, outcomes)
+                except BaseException:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+        else:
+            for workload, policies in groups.items():
+                try:
+                    _, outcomes = _simulate_group(
+                        workload, policies, traces[workload], config,
+                        warmup_fraction, telemetry,
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception:
+                    leftover.update((workload, policy) for policy in policies)
+                else:
+                    consume(workload, outcomes)
+
+        return [cell for cell in pending if cell in leftover]

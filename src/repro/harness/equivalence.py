@@ -1,12 +1,16 @@
 """Differential-equivalence harness for the execution engines.
 
-:func:`verify_fastpath` proves — by running them — that the optimized
-execution path (:mod:`repro.mem.fastpath`) and the reference hot loop
-produce **bit-identical** :class:`~repro.core.results.SimulationResult`
-values: every counter, every float, and the full telemetry profile when
-armed. Comparison is over the canonical JSON serialization (the same
-representation the sweep-engine cache stores), so anything the result
-round-trip can express is covered.
+:func:`verify_fastpath` proves — by running them — that an optimized
+execution path and the reference hot loop produce **bit-identical**
+:class:`~repro.core.results.SimulationResult` values: every counter,
+every float, and the full telemetry profile when armed. Comparison is
+over the canonical JSON serialization (the same representation the
+sweep-engine cache stores), so anything the result round-trip can
+express is covered. Two candidates are supported: the single-run fast
+engine (:mod:`repro.mem.fastpath`, ``engine="fast"``) and the batched
+multi-cell engine (:mod:`repro.mem.batch`, ``engine="batched"``, which
+additionally exercises plan *sharing* — every policy of a trace replays
+the same decoded access stream, exactly as a batched sweep would).
 
 The default case matrix crosses every registered replacement policy with
 GAP-kernel and SPEC-proxy traces plus an IFETCH-heavy synthetic mix (the
@@ -96,7 +100,7 @@ class EquivalenceReport:
         verdict = "PASS" if self.passed else "FAIL"
         lines.append(
             f"verify-fastpath: {verdict} — {len(self.cases)} cases "
-            f"({self.fast_coverage} on the fast engine, "
+            f"({self.fast_coverage} on the optimized engine, "
             f"{len(self.failures)} mismatches)"
         )
         return "\n".join(lines)
@@ -148,13 +152,26 @@ def verify_fastpath(
     warmup_fractions: Sequence[float] = (0.2,),
     include_telemetry: bool = True,
     progress: bool = False,
+    engine: str = "fast",
 ) -> EquivalenceReport:
-    """Compare both engines across the full case matrix.
+    """Compare a candidate engine against the reference across the matrix.
 
     Parameters mirror the CLI flags; with the defaults this runs every
     registered policy over five traces, telemetry off and on — a few
     hundred simulations, sized to finish in CI smoke time.
+
+    ``engine`` selects the candidate: ``"fast"`` compares the single-run
+    fast path, ``"batched"`` runs every policy of a trace through one
+    shared :class:`~repro.mem.batch.BatchPlan` (via
+    :func:`~repro.mem.batch.simulate_batched`) so the comparison covers
+    the plan reuse a batched sweep performs, not just isolated cells.
+    Ineligible policies fall back exactly as the real engines do;
+    their cases are counted but marked outside ``fast_coverage``.
     """
+    if engine not in ("fast", "batched"):
+        raise ValueError(
+            f"unknown candidate engine {engine!r}; expected 'fast' or 'batched'"
+        )
     if config is None:
         config = small_test_machine()
     if policies is None:
@@ -165,30 +182,54 @@ def verify_fastpath(
     if include_telemetry:
         telemetry_modes = (None, TelemetryConfig(interval_instructions=5_000))
 
+    if engine == "batched":
+        from ..mem.batch import batch_eligible, simulate_batched
+
+        def eligible(policy: str) -> bool:
+            return batch_eligible(build_hierarchy(config, policy), trace)
+    else:
+        def eligible(policy: str) -> bool:
+            return fastpath_eligible(build_hierarchy(config, policy), trace)
+
     cases = []
     for workload, trace in traces.items():
-        for policy in policies:
-            fast_used = fastpath_eligible(build_hierarchy(config, policy), trace)
-            for warmup in warmup_fractions:
-                for tele in telemetry_modes:
-                    results = {
-                        engine: simulate(
+        for warmup in warmup_fractions:
+            for tele in telemetry_modes:
+                if engine == "batched":
+                    candidates = simulate_batched(
+                        trace,
+                        list(policies),
+                        config=config,
+                        warmup_fraction=warmup,
+                        telemetry=tele,
+                    )
+                else:
+                    candidates = {
+                        policy: simulate(
                             trace,
                             config=config,
                             llc_policy=policy,
                             warmup_fraction=warmup,
                             telemetry=tele,
-                            engine=engine,
+                            engine="fast",
                         )
-                        for engine in ("fast", "reference")
+                        for policy in policies
                     }
-                    matched = _canonical(results["fast"]) == _canonical(
-                        results["reference"]
+                for policy in policies:
+                    reference = simulate(
+                        trace,
+                        config=config,
+                        llc_policy=policy,
+                        warmup_fraction=warmup,
+                        telemetry=tele,
+                        engine="reference",
                     )
+                    candidate = candidates[policy]
+                    matched = _canonical(candidate) == _canonical(reference)
                     mismatched: tuple[str, ...] = ()
                     if not matched:
-                        fast_dict = results["fast"].to_json_dict()
-                        ref_dict = results["reference"].to_json_dict()
+                        fast_dict = candidate.to_json_dict()
+                        ref_dict = reference.to_json_dict()
                         mismatched = tuple(
                             key
                             for key in sorted(set(fast_dict) | set(ref_dict))
@@ -199,7 +240,7 @@ def verify_fastpath(
                         policy=policy,
                         telemetry=tele is not None,
                         warmup_fraction=warmup,
-                        fast_used=fast_used,
+                        fast_used=eligible(policy),
                         matched=matched,
                         mismatched_fields=mismatched,
                     )

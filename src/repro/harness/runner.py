@@ -100,6 +100,7 @@ def run_matrix(
     engine: "SweepEngine | None" = None,
     telemetry: "TelemetryConfig | None" = None,
     retry: "RetryPolicy | None" = None,
+    cell_engine: str = "fast",
 ) -> RunMatrix:
     """Simulate every (trace, policy) pair through the sweep engine.
 
@@ -121,6 +122,13 @@ def run_matrix(
     failures that survive the retry budget propagate; use
     :meth:`repro.harness.engine.SweepEngine.run` directly for per-cell
     failure isolation and engine statistics.
+
+    ``cell_engine`` picks the simulation engine for uncached cells —
+    ``"fast"`` (default), ``"reference"``, or ``"batched"`` which runs
+    all eligible policies of a workload over one shared access-stream
+    plan (see docs/performance.md); all three are bit-identical.
+    (``engine`` names the *sweep* engine instance, hence the separate
+    keyword.)
     """
     from .engine import SweepEngine
 
@@ -135,6 +143,7 @@ def run_matrix(
         sanitize=sanitize,
         telemetry=telemetry,
         retry=retry,
+        engine=cell_engine,
     )
     outcome.matrix.sweep_stats = outcome.stats
     outcome.matrix.failure_report = outcome.failure_report

@@ -7,6 +7,12 @@ numbers served at 2-3x speed. The guards encode assumptions about the
 rest of the codebase; this pass re-derives those assumptions from the
 AST and fails when they drift:
 
+The same contract binds the batched multi-cell engine
+(``repro.mem.batch`` / ``batch_eligible()``): it shares one decoded
+access stream across every policy of a trace, so an unguarded feature
+would corrupt a whole sweep row at once. Both engines are audited with
+identical obligations.
+
 1. **Feature knobs.** Every optional ``CacheHierarchy.__init__``
    parameter is a machine feature the fast path may not model; the
    eligibility check must inspect each one. Adding, say, an ``l3_victim_cache``
@@ -43,14 +49,21 @@ MODELED_KINDS = frozenset({"LOAD", "STORE", "IFETCH"})
 #: The hierarchy class whose optional features gate eligibility.
 HIERARCHY_CLASS = "CacheHierarchy"
 
-#: The eligibility predicate's required name.
+#: The eligibility predicate's required name (single-run fast engine).
 ELIGIBILITY_FUNCTION = "fastpath_eligible"
 
+#: Audited engines: (module filename, required eligibility predicate).
+#: Every entry carries the full guard-obligation set below.
+AUDITED_ENGINES = (
+    ("fastpath.py", ELIGIBILITY_FUNCTION),
+    ("batch.py", "batch_eligible"),
+)
 
-def _find_fastpath_module(ctx: LintContext) -> ModuleInfo | None:
+
+def _find_module(ctx: LintContext, filename: str) -> ModuleInfo | None:
     for module in ctx.modules:
         parts = module.path.replace("\\", "/").split("/")
-        if parts and parts[-1] == "fastpath.py":
+        if parts and parts[-1] == filename and "mem" in parts:
             return module
     return None
 
@@ -171,26 +184,28 @@ class FastpathEligibilityRule(Rule):
     """The fast engine's eligibility guards cover its actual assumptions."""
 
     name = "fastpath-eligibility"
-    description = "fastpath_eligible() guards match hierarchy features, policy state and AccessKind"
+    description = "engine eligibility guards match hierarchy features, policy state and AccessKind"
     severity = Severity.ERROR
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        module = _find_fastpath_module(ctx)
-        if module is None:
-            return
-        fn = _top_level_function(module, ELIGIBILITY_FUNCTION)
-        if fn is None:
-            yield self.finding(
-                module.path,
-                1,
-                f"fastpath module defines no top-level {ELIGIBILITY_FUNCTION}()",
-                "the fast engine must publish an eligibility predicate the "
-                "simulator can consult before selecting it",
-            )
-            return
-        yield from self._check_hierarchy_features(ctx, module, fn)
-        yield from self._check_policy_pinning(ctx, module, fn)
-        yield from self._check_kind_bound(ctx, module, fn)
+        for filename, predicate in AUDITED_ENGINES:
+            module = _find_module(ctx, filename)
+            if module is None:
+                continue
+            fn = _top_level_function(module, predicate)
+            if fn is None:
+                yield self.finding(
+                    module.path,
+                    1,
+                    f"engine module {filename} defines no top-level "
+                    f"{predicate}()",
+                    "every optimized engine must publish an eligibility "
+                    "predicate its callers consult before selecting it",
+                )
+                continue
+            yield from self._check_hierarchy_features(ctx, module, fn)
+            yield from self._check_policy_pinning(ctx, module, fn)
+            yield from self._check_kind_bound(ctx, module, fn)
 
     # -- 1: hierarchy feature knobs -------------------------------------------
 
@@ -207,7 +222,7 @@ class FastpathEligibilityRule(Rule):
                 yield self.finding(
                     module.path,
                     fn.lineno,
-                    f"{ELIGIBILITY_FUNCTION}() never inspects optional "
+                    f"{fn.name}() never inspects optional "
                     f"{HIERARCHY_CLASS} feature {feature!r}; a machine "
                     "configured with it would take the fast path unmodeled",
                     f"check {hierarchy_param}.{feature} and fall back to the "
@@ -229,7 +244,7 @@ class FastpathEligibilityRule(Rule):
             yield self.finding(
                 module.path,
                 fn.lineno,
-                f"{ELIGIBILITY_FUNCTION}() does not pin upper-level policies "
+                f"{fn.name}() does not pin upper-level policies "
                 "with an exact `type(...) is` comparison",
                 "pin the checked-out policy classes exactly; isinstance() "
                 "admits subclasses whose extra state the checkout drops",
@@ -267,7 +282,7 @@ class FastpathEligibilityRule(Rule):
             yield self.finding(
                 module.path,
                 fn.lineno,
-                f"{ELIGIBILITY_FUNCTION}() does not bound trace.kinds; "
+                f"{fn.name}() does not bound trace.kinds; "
                 "records beyond the modeled kinds would reach the fast loop",
                 "compare trace.kinds.max() against the highest modeled "
                 "AccessKind value",

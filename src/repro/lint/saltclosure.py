@@ -34,10 +34,12 @@ from .rules import Rule, register_rule
 SALT_VARIABLE = "SALT_SOURCE_PACKAGES"
 
 #: Entry points of the simulation, relative to the package root: the
-#: reference driver, the fast-path engine, and the policy registry.
+#: reference driver, the fast-path engine, the batched multi-cell
+#: engine, and the policy registry.
 ENTRY_MODULE_SUFFIXES = (
     "core.simulator",
     "mem.fastpath",
+    "mem.batch",
     "policies.registry",
 )
 

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..trace.record import AccessKind
 from .base import PolicyAccess, ReplacementPolicy
 from .hawkeye import HAWKEYE_RRPV_MAX
 from .optgen import SetSampler
+
+_KIND_WRITEBACK = int(AccessKind.WRITEBACK)
 
 ISVM_TABLE_BITS = 11
 ISVM_TABLE_SIZE = 1 << ISVM_TABLE_BITS
@@ -63,26 +66,55 @@ class GliderPolicy(ReplacementPolicy):
         ]  # (isvm index, weight indices) of the last touch
         self._isvms = [[0] * ISVM_WEIGHTS for _ in range(ISVM_TABLE_SIZE)]
         self._pchr: deque[int] = deque(maxlen=PCHR_LENGTH)
+        # Per-slot occupancy of the PCHR plus the cached sorted distinct
+        # slot tuple, maintained incrementally by _push_history so
+        # _features need not rehash the whole history on every touch.
+        self._pchr_slot_counts = [0] * ISVM_WEIGHTS
+        self._pchr_slots: tuple[int, ...] = ()
         self._sampler = SetSampler(num_sets, num_ways)
         self.stat_friendly_fills = 0
         self.stat_averse_fills = 0
 
     # -- features & prediction -----------------------------------------------
 
+    def _push_history(self, pc: int) -> None:
+        """Append ``pc`` to the PCHR, maintaining the slot-set cache.
+
+        The slot tuple only changes when a ``weight_index`` value enters
+        or leaves the history's support set, so the sorted rebuild runs
+        on that transition rather than on every feature computation.
+        """
+        counts = self._pchr_slot_counts
+        pchr = self._pchr
+        changed = False
+        if len(pchr) == PCHR_LENGTH:
+            oldest = weight_index(pchr[0])
+            counts[oldest] -= 1
+            if not counts[oldest]:
+                changed = True
+        slot = weight_index(pc)
+        counts[slot] += 1
+        if counts[slot] == 1:
+            changed = True
+        pchr.append(pc)
+        if changed:
+            self._pchr_slots = tuple(
+                s for s in range(ISVM_WEIGHTS) if counts[s]
+            )
+
     def _features(self, pc: int) -> tuple[int, tuple[int, ...]]:
         """The (ISVM, weight-slot) feature tuple for the current history."""
-        slots = tuple(sorted({weight_index(h) for h in self._pchr}))
-        return isvm_index(pc), slots
+        return isvm_index(pc), self._pchr_slots
 
     def _sum(self, features: tuple[int, tuple[int, ...]]) -> int:
         table, slots = features
         weights = self._isvms[table]
-        return sum(weights[s] for s in slots)
+        return sum(map(weights.__getitem__, slots))
 
     def _train(self, features: tuple[int, tuple[int, ...]], opt_hit: bool) -> None:
         table, slots = features
         weights = self._isvms[table]
-        total = sum(weights[s] for s in slots)
+        total = sum(map(weights.__getitem__, slots))
         if opt_hit:
             if total < TRAINING_MARGIN:  # margin: stop once confidently positive
                 for s in slots:
@@ -96,7 +128,9 @@ class GliderPolicy(ReplacementPolicy):
 
     # -- sampling ---------------------------------------------------------------
 
-    def _sample(self, set_index: int, access: PolicyAccess, features) -> None:
+    def _sample(
+        self, set_index: int, access: PolicyAccess, features: tuple[int, tuple[int, ...]]
+    ) -> None:
         decided, previous, evicted = self._sampler.observe(
             set_index, access.block, access.pc, context=features
         )
@@ -124,7 +158,7 @@ class GliderPolicy(ReplacementPolicy):
         return victim
 
     def _touch(self, set_index: int, way: int, access: PolicyAccess, is_fill: bool) -> None:
-        if access.is_writeback:
+        if access.kind == _KIND_WRITEBACK:
             self._line_friendly[set_index][way] = False
             self._line_features[set_index][way] = (0, ())
             self._rrpv[set_index][way] = HAWKEYE_RRPV_MAX
@@ -132,7 +166,7 @@ class GliderPolicy(ReplacementPolicy):
         features = self._features(access.pc)
         self._sample(set_index, access, features)
         total = self._sum(features)
-        self._pchr.append(access.pc)
+        self._push_history(access.pc)
         self._line_features[set_index][way] = features
         if total < THRESHOLD_AVERSE:
             self._line_friendly[set_index][way] = False
@@ -181,6 +215,8 @@ class GliderPolicy(ReplacementPolicy):
             "rrpv_histogram": rrpv_hist,
             "friendly_lines": sum(sum(row) for row in self._line_friendly),
             "pchr_depth": len(self._pchr),
+            "pchr_distinct_slots": len(self._pchr_slots),
+            "pchr_slot_counts": list(self._pchr_slot_counts),
             "friendly_fills": self.stat_friendly_fills,
             "averse_fills": self.stat_averse_fills,
             "optgen_hit_rate": self.optgen_hit_rate,

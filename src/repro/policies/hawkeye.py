@@ -15,8 +15,11 @@ structure sizes: 3-bit RRPVs, 8K-entry predictor with 3-bit counters,
 
 from __future__ import annotations
 
+from ..trace.record import AccessKind
 from .base import PolicyAccess, ReplacementPolicy
 from .optgen import SetSampler
+
+_KIND_WRITEBACK = int(AccessKind.WRITEBACK)
 
 #: Hawkeye uses 3-bit RRPVs (unlike the RRIP family's 2-bit).
 HAWKEYE_RRPV_MAX = 7
@@ -70,7 +73,7 @@ class HawkeyePolicy(ReplacementPolicy):
     # -- sampling -------------------------------------------------------------
 
     def _sample(self, set_index: int, access: PolicyAccess) -> None:
-        if access.is_writeback:
+        if access.kind == _KIND_WRITEBACK:
             return  # writebacks are invisible to OPTgen, as in the reference
         decided, previous, evicted = self._sampler.observe(
             set_index, access.block, access.pc
@@ -103,7 +106,7 @@ class HawkeyePolicy(ReplacementPolicy):
 
     def on_hit(self, set_index: int, way: int, access: PolicyAccess) -> None:
         self._sample(set_index, access)
-        if access.is_writeback:
+        if access.kind == _KIND_WRITEBACK:
             return
         friendly = self._predict_friendly(access.pc)
         self._line_friendly[set_index][way] = friendly
@@ -112,7 +115,7 @@ class HawkeyePolicy(ReplacementPolicy):
 
     def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
         self._sample(set_index, access)
-        if access.is_writeback:
+        if access.kind == _KIND_WRITEBACK:
             # Writebacks carry no PC: insert averse so they leave quickly.
             self._line_friendly[set_index][way] = False
             self._line_pc[set_index][way] = 0

@@ -24,7 +24,10 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..trace.record import AccessKind
 from .base import BYPASS, PolicyAccess, ReplacementPolicy
+
+_KIND_WRITEBACK = int(AccessKind.WRITEBACK)
 
 TABLE_BITS = 8
 TABLE_SIZE = 1 << TABLE_BITS
@@ -70,6 +73,7 @@ class MPPPBPolicy(ReplacementPolicy):
 
     def _features(self, access: PolicyAccess) -> tuple[int, ...]:
         """Compute the 7 perspective indices for this access."""
+        mask = TABLE_SIZE - 1
         pc = access.pc
         block = access.block
         history_fold = 0
@@ -77,17 +81,22 @@ class MPPPBPolicy(ReplacementPolicy):
             history_fold ^= h >> (i + 1)
         page = block >> 6  # 4 KiB page of a 64 B block
         return (
-            _mask(pc),
-            _mask(pc >> 4),
-            _mask(pc >> 8),
-            _mask(pc ^ (pc >> TABLE_BITS)),
-            _mask(history_fold),
-            _mask(page ^ (page >> TABLE_BITS)),
-            _mask(block),  # offset bits within the page + low page bits
+            pc & mask,
+            (pc >> 4) & mask,
+            (pc >> 8) & mask,
+            (pc ^ (pc >> TABLE_BITS)) & mask,
+            history_fold & mask,
+            (page ^ (page >> TABLE_BITS)) & mask,
+            block & mask,  # offset bits within the page + low page bits
         )
 
     def _sum(self, features: tuple[int, ...]) -> int:
-        return sum(self._weights[i][f] for i, f in enumerate(features))
+        w = self._weights
+        f0, f1, f2, f3, f4, f5, f6 = features
+        return (
+            w[0][f0] + w[1][f1] + w[2][f2] + w[3][f3]
+            + w[4][f4] + w[5][f5] + w[6][f6]
+        )
 
     def _train(self, features: tuple[int, ...], dead: bool) -> None:
         """Perceptron update toward ``dead`` (+1) or live (-1), with margin."""
@@ -109,7 +118,7 @@ class MPPPBPolicy(ReplacementPolicy):
     def find_victim(self, set_index: int, access: PolicyAccess, tags: list[int]) -> int:
         # Bypass dead-on-arrival demand fills (never bypass writebacks: the
         # block must land somewhere to preserve its dirty data).
-        if not access.is_writeback:
+        if access.kind != _KIND_WRITEBACK:
             features = self._features(access)
             if self._sum(features) >= THETA_BYPASS:
                 self.stat_bypasses += 1
@@ -136,7 +145,7 @@ class MPPPBPolicy(ReplacementPolicy):
     def _touch(self, set_index: int, way: int, access: PolicyAccess) -> None:
         self._clock += 1
         self._stamp[set_index][way] = self._clock
-        if access.is_writeback:
+        if access.kind == _KIND_WRITEBACK:
             self._line_dead[set_index][way] = True
             self._line_features[set_index][way] = None
             self._line_reused[set_index][way] = True

@@ -94,6 +94,12 @@ class ResilientExecutor:
         raise to abort the sweep; the executor then tears the pool down.
     report:
         Shared :class:`FailureReport` receiving every absorbed attempt.
+    pool_factory:
+        Optional ``() -> ProcessPoolExecutor`` used for every pool
+        generation (initial creation and post-recycle rebuilds). The
+        sweep engine uses it to install per-worker state — the trace
+        registry — via a pool initializer; ``None`` falls back to a
+        plain pool of ``workers`` processes.
     """
 
     def __init__(
@@ -105,6 +111,7 @@ class ResilientExecutor:
         on_success: Callable[[str, str, object], None],
         on_failure: Callable[[str, str, BaseException, FailureKind], None],
         report: FailureReport,
+        pool_factory: Callable[[], ProcessPoolExecutor] | None = None,
     ) -> None:
         self.retry = retry
         self.workers = max(1, workers)
@@ -113,6 +120,7 @@ class ResilientExecutor:
         self.on_success = on_success
         self.on_failure = on_failure
         self.report = report
+        self.pool_factory = pool_factory
 
     # -- shared bookkeeping -------------------------------------------------
 
@@ -216,7 +224,11 @@ class ResilientExecutor:
                 while queue and len(inflight) < self.workers:
                     cell = queue.popleft()
                     if pool is None:
-                        pool = ProcessPoolExecutor(max_workers=self.workers)
+                        pool = (
+                            self.pool_factory()
+                            if self.pool_factory is not None
+                            else ProcessPoolExecutor(max_workers=self.workers)
+                        )
                     future = self.submit(pool, cell.workload, cell.policy, cell.attempt)
                     started = time.monotonic()
                     deadline = float("inf") if timeout is None else started + timeout

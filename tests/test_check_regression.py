@@ -166,6 +166,134 @@ class TestMarkdownSummary:
         assert "gap_scale" in text
 
 
+def make_entry(
+    sha: str = "aaaa1111bbbb2222",
+    fast_cps: float = 1.5,
+    batched_cps: float = 5.0,
+    speedup: float | None = None,
+) -> dict:
+    cells = 210
+    return {
+        "schema": 1,
+        "git_sha": sha,
+        "date": "2026-08-08T12:00:00Z",
+        "smoke": True,
+        "jobs": 2,
+        "matrix": {"workloads": 30, "policies": 7, "cells": cells},
+        "engines": {
+            "fast": {
+                "wall_s": round(cells / fast_cps, 3),
+                "cells_per_sec": fast_cps,
+            },
+            "batched": {
+                "wall_s": round(cells / batched_cps, 3),
+                "cells_per_sec": batched_cps,
+            },
+        },
+        "batched_speedup": (
+            round(batched_cps / fast_cps, 3) if speedup is None else speedup
+        ),
+    }
+
+
+def write_trajectory(path: Path, entries: list[dict]) -> None:
+    path.write_text(
+        json.dumps({"schema": 1, "entries": entries}), encoding="utf-8"
+    )
+
+
+def run_trajectory_gate(path: Path, *extra: str) -> int:
+    return check_regression.main(
+        ["--trajectory", "--trajectory-file", str(path), *extra]
+    )
+
+
+class TestTrajectoryGate:
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert run_trajectory_gate(tmp_path / "absent.json") == 2
+        assert "missing trajectory file" in capsys.readouterr().err
+
+    def test_empty_trajectory_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_sweep.json"
+        write_trajectory(path, [])
+        assert run_trajectory_gate(path) == 2
+        assert "no entries" in capsys.readouterr().err
+
+    def test_single_healthy_entry_passes(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        write_trajectory(path, [make_entry()])  # 5.0/1.5 ≈ 3.33x
+        assert run_trajectory_gate(path) == 0
+
+    def test_speedup_below_floor_fails(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_sweep.json"
+        write_trajectory(path, [make_entry(batched_cps=4.0)])  # 2.67x
+        assert run_trajectory_gate(path) == 1
+        assert "below the 3.0x floor" in capsys.readouterr().err
+
+    def test_floor_is_configurable(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        write_trajectory(path, [make_entry(batched_cps=4.0)])
+        assert run_trajectory_gate(path, "--min-batched-speedup", "2.5") == 0
+
+    def test_missing_speedup_field_fails(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_sweep.json"
+        entry = make_entry()
+        del entry["batched_speedup"]
+        write_trajectory(path, [entry])
+        assert run_trajectory_gate(path) == 1
+        assert "no batched_speedup" in capsys.readouterr().err
+
+    def test_throughput_regression_fails(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_sweep.json"
+        write_trajectory(path, [
+            make_entry(sha="previous00000000"),
+            make_entry(sha="latest0000000000", fast_cps=1.2, batched_cps=4.0),
+        ])  # fast dropped 20%, batched 20% — both past the 15% limit
+        assert run_trajectory_gate(path) == 1
+        err = capsys.readouterr().err
+        assert "fast engine throughput regressed" in err
+        assert "batched engine throughput regressed" in err
+
+    def test_regression_within_limit_passes(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        write_trajectory(path, [
+            make_entry(),
+            make_entry(fast_cps=1.35, batched_cps=4.5),  # 10% slower
+        ])
+        assert run_trajectory_gate(path) == 0
+
+    def test_only_latest_pair_is_gated(self, tmp_path):
+        """Ancient history never fails the gate; only the last two do."""
+        path = tmp_path / "BENCH_sweep.json"
+        write_trajectory(path, [
+            make_entry(fast_cps=10.0, batched_cps=40.0),  # fast old host
+            make_entry(),
+            make_entry(fast_cps=1.45, batched_cps=4.9),
+        ])
+        assert run_trajectory_gate(path) == 0
+
+    def test_markdown_trend_table(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        write_trajectory(path, [make_entry(sha="cafe000000000000")])
+        summary = tmp_path / "summary.md"
+        summary.write_text("# prior content\n", encoding="utf-8")
+        assert run_trajectory_gate(path, "--markdown", str(summary)) == 0
+        text = summary.read_text(encoding="utf-8")
+        assert text.startswith("# prior content")
+        assert "## Sweep-throughput trajectory" in text
+        assert "| cafe00000000 " in text
+        assert "✅ throughput trajectory healthy" in text
+
+    def test_markdown_lists_failures(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        write_trajectory(path, [make_entry(batched_cps=4.0)])
+        summary = tmp_path / "summary.md"
+        assert run_trajectory_gate(path, "--markdown", str(summary)) == 1
+        text = summary.read_text(encoding="utf-8")
+        assert "❌" in text
+        assert "Failures:" in text
+
+
 class TestUpdate:
     def test_update_rewrites_baseline_that_then_passes(self, gate_dirs):
         results, expected = gate_dirs

@@ -39,12 +39,13 @@ class TestFeatures:
     def test_pchr_is_bounded(self):
         p = make_policy()
         for i in range(20):
-            p._pchr.append(i)
+            p._push_history(i)
         assert len(p._pchr) == PCHR_LENGTH
 
     def test_features_use_history(self):
         p = make_policy()
-        p._pchr.extend([0x10, 0x20])
+        for _pc in [0x10, 0x20]:
+            p._push_history(_pc)
         table, slots = p._features(0x40)
         assert table == isvm_index(0x40)
         assert set(slots) == {weight_index(0x10), weight_index(0x20)}
@@ -53,7 +54,8 @@ class TestFeatures:
 class TestTraining:
     def test_positive_training_raises_sum(self):
         p = make_policy()
-        p._pchr.extend([0x10, 0x20, 0x30])
+        for _pc in [0x10, 0x20, 0x30]:
+            p._push_history(_pc)
         features = p._features(0x40)
         before = p._sum(features)
         p._train(features, opt_hit=True)
@@ -61,14 +63,15 @@ class TestTraining:
 
     def test_negative_training_lowers_sum(self):
         p = make_policy()
-        p._pchr.extend([0x10, 0x20])
+        for _pc in [0x10, 0x20]:
+            p._push_history(_pc)
         features = p._features(0x40)
         p._train(features, opt_hit=False)
         assert p._sum(features) < 0
 
     def test_weights_saturate(self):
         p = make_policy()
-        p._pchr.append(0x10)
+        p._push_history(0x10)
         features = p._features(0x40)
         for _ in range(200):
             p._train(features, opt_hit=False)
@@ -79,7 +82,8 @@ class TestTraining:
     def test_margin_stops_training(self):
         """Once the sum passes the margin, positive updates stop."""
         p = make_policy()
-        p._pchr.extend([0x10, 0x20, 0x30, 0x40, 0x50])
+        for _pc in [0x10, 0x20, 0x30, 0x40, 0x50]:
+            p._push_history(_pc)
         features = p._features(0x60)
         for _ in range(500):
             p._train(features, opt_hit=True)
@@ -91,7 +95,7 @@ class TestTraining:
 class TestInsertion:
     def test_negative_sum_inserts_averse(self):
         p = make_policy()
-        p._pchr.append(0x10)
+        p._push_history(0x10)
         features = p._features(0x40)
         for _ in range(10):
             p._train(features, opt_hit=False)
@@ -101,7 +105,7 @@ class TestInsertion:
 
     def test_confident_sum_inserts_zero(self):
         p = make_policy()
-        p._pchr.append(0x10)
+        p._push_history(0x10)
         features = p._features(0x40)
         table, slots = features
         for s in slots:
@@ -112,7 +116,7 @@ class TestInsertion:
 
     def test_low_confidence_friendly_inserts_aged(self):
         p = make_policy()
-        p._pchr.append(0x10)
+        p._push_history(0x10)
         # weights are all zero -> sum 0 -> friendly but not confident
         assert THRESHOLD_AVERSE <= 0 < THRESHOLD_CONFIDENT
         p.on_fill(2, 0, PolicyAccess(1, 0x40, LOAD))

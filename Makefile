@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-batched examples experiments lint typecheck check clean
+.PHONY: install test bench bench-smoke bench-batched bench-sampling sampling-gate examples experiments lint typecheck check clean
 
 install:
 	pip install -e .[dev]
@@ -38,6 +38,16 @@ bench-batched:
 	REPRO_SMOKE=1 PYTHONPATH=src $(PYTHON) benchmarks/record_trajectory.py
 	REPRO_SMOKE=1 $(PYTHON) benchmarks/check_regression.py --trajectory
 
+# The sampling mirror of bench-batched: measure sampled-vs-full error
+# on the smoke suites, append an entry to BENCH_sampling.json, and gate
+# it against the committed error budget (see docs/sampling.md and the
+# `sampling-gate` CI job). Recording is guarded: use
+# `record_sampling.py --force` directly when re-baselining from a
+# dirty tree.
+bench-sampling:
+	REPRO_SMOKE=1 PYTHONPATH=src $(PYTHON) benchmarks/record_sampling.py
+	REPRO_SMOKE=1 $(PYTHON) benchmarks/check_regression.py --sampling
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/policy_shootout.py
@@ -66,9 +76,16 @@ typecheck:
 		echo "mypy not installed; skipping type checks (CI runs them)"; \
 	fi
 
+# Gate-only half of bench-sampling: validate the committed
+# BENCH_sampling.json against the error budget without re-measuring
+# (seconds, no simulation — safe for every `make check`).
+sampling-gate:
+	$(PYTHON) benchmarks/check_regression.py --sampling
+
 # Everything CI gates on short of the test matrix: repro lint --strict,
-# ruff and mypy (the latter two when installed).
-check: lint typecheck
+# ruff and mypy (the latter two when installed), plus the sampling
+# error-budget gate over the checked-in trajectory.
+check: lint typecheck sampling-gate
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks

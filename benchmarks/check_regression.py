@@ -31,6 +31,14 @@ per-engine throughput regressed more than 15% against the previous
 entry, or when the batched engine's wall-clock speed-up over the
 per-cell fast path fell below the floor (3x), and posts a markdown
 trend table to ``--markdown`` (CI: ``$GITHUB_STEP_SUMMARY``).
+
+``--sampling`` gates representative-interval sampling accuracy: it
+reads ``BENCH_sampling.json`` (appended to by
+``benchmarks/record_sampling.py``) and fails when the latest entry's
+sampled-vs-full error exceeds the committed budget (mean/max relative
+error on LLC MPKI and IPC) or the minimum trace-reduction factor fell
+below the floor (10x). The per-suite error table goes to ``--markdown``
+(CI: ``$GITHUB_STEP_SUMMARY``). See docs/sampling.md.
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ BENCH_DIR = Path(__file__).parent
 DEFAULT_RESULTS = BENCH_DIR / "results"
 DEFAULT_EXPECTED = BENCH_DIR / "expected" / "smoke.json"
 DEFAULT_TRAJECTORY = BENCH_DIR.parent / "BENCH_sweep.json"
+DEFAULT_SAMPLING = BENCH_DIR.parent / "BENCH_sampling.json"
 
 #: Maximum tolerated drop of an engine's cells/second between the last
 #: two trajectory entries. Absolute throughput is host-sensitive, so
@@ -55,6 +64,24 @@ TRAJECTORY_REGRESSION_LIMIT = 0.15
 #: fast engine in the latest entry. Both engines run in the same
 #: process on the same matrix, so this ratio is robust to host speed.
 MIN_BATCHED_SPEEDUP = 3.0
+
+#: The sampling error budget: ceilings on the latest BENCH_sampling.json
+#: entry's overall sampled-vs-full relative error. Both metrics are
+#: host-independent (full and sampled runs execute the same simulator in
+#: the same process), so the budget is sharp — exceeding any ceiling
+#: means sampling accuracy actually changed. Values are fractions:
+#: 0.03 = 3% relative error.
+SAMPLING_BUDGET = {
+    "mpki_err_mean": 0.03,
+    "mpki_err_max": 0.08,
+    "ipc_err_mean": 0.05,
+    "ipc_err_max": 0.12,
+}
+
+#: Floor on the latest entry's *minimum* per-cell trace-reduction
+#: factor: sampling that stops reducing the simulated record count has
+#: no reason to exist, however accurate it is.
+MIN_SAMPLING_REDUCTION = 10.0
 
 #: (results file, scale-note keys) per gated experiment.
 GATED = {
@@ -306,6 +333,127 @@ def check_trajectory(
     return 0
 
 
+def _sampling_markdown(entry: dict, failures: list[str]) -> str:
+    """The latest sampling entry as a job-summary error table."""
+    verdict = (
+        "✅ within the error budget"
+        if not failures
+        else f"❌ {len(failures)} failure(s)"
+    )
+    spec = entry.get("spec", {})
+    lines = [
+        "## Sampling error-budget gate",
+        "",
+        f"`BENCH_sampling.json` latest entry "
+        f"({str(entry.get('git_sha', '?'))[:12]}, "
+        f"policies {', '.join(entry.get('policies', []))}, "
+        f"k={spec.get('intervals', '?')} seed={spec.get('seed', '?')}): "
+        f"{verdict}",
+        "",
+        "| suite | cells | MPKI err mean | MPKI err max | IPC err mean "
+        "| IPC err max | reduction min | reduction mean |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    summaries = dict(entry.get("suites", {}))
+    summaries["**overall**"] = entry.get("overall", {})
+    for suite, summary in summaries.items():
+        lines.append(
+            f"| {suite} | {summary.get('cells', '?')} "
+            f"| {summary.get('mpki_err_mean', 0.0):.2%} "
+            f"| {summary.get('mpki_err_max', 0.0):.2%} "
+            f"| {summary.get('ipc_err_mean', 0.0):.2%} "
+            f"| {summary.get('ipc_err_max', 0.0):.2%} "
+            f"| {summary.get('reduction_min', 0.0):.1f}x "
+            f"| {summary.get('reduction_mean', 0.0):.1f}x |"
+        )
+    lines += [
+        "",
+        f"Budget: MPKI mean ≤ {SAMPLING_BUDGET['mpki_err_mean']:.0%}, "
+        f"max ≤ {SAMPLING_BUDGET['mpki_err_max']:.0%}; "
+        f"IPC mean ≤ {SAMPLING_BUDGET['ipc_err_mean']:.0%}, "
+        f"max ≤ {SAMPLING_BUDGET['ipc_err_max']:.0%}; "
+        f"reduction ≥ {MIN_SAMPLING_REDUCTION:.0f}x. "
+        f"Wall-clock speed-up {entry.get('wall_speedup', '?')}x "
+        "(informational).",
+    ]
+    if failures:
+        lines += ["", "Failures:", ""]
+        lines += [f"- {f}" for f in failures]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def check_sampling(
+    sampling_path: Path,
+    markdown: Path | None = None,
+    budget: dict[str, float] = SAMPLING_BUDGET,
+    min_reduction: float = MIN_SAMPLING_REDUCTION,
+) -> int:
+    """Gate the latest ``BENCH_sampling.json`` entry; see module docstring."""
+    if not sampling_path.is_file():
+        raise GateError(
+            f"missing sampling trajectory: {sampling_path} "
+            "(record an entry with benchmarks/record_sampling.py first)"
+        )
+    document = json.loads(sampling_path.read_text(encoding="utf-8"))
+    entries = document.get("entries", [])
+    if not entries:
+        raise GateError(
+            f"{sampling_path} contains no entries "
+            "(record one with benchmarks/record_sampling.py first)"
+        )
+
+    failures: list[str] = []
+    latest = entries[-1]
+    overall = latest.get("overall")
+    if not isinstance(overall, dict):
+        raise GateError(
+            f"latest entry of {sampling_path} records no overall aggregate"
+        )
+
+    for metric, ceiling in budget.items():
+        got = overall.get(metric)
+        if not isinstance(got, (int, float)):
+            failures.append(f"latest entry records no {metric}")
+            continue
+        ok = got <= ceiling
+        print(
+            f"{metric:>14}: {got:7.2%} (budget {ceiling:.0%})  "
+            f"{'ok' if ok else 'OVER BUDGET'}"
+        )
+        if not ok:
+            failures.append(
+                f"{metric} {got:.2%} exceeds the {ceiling:.0%} budget "
+                f"(latest entry {str(latest.get('git_sha', '?'))[:12]})"
+            )
+    reduction = overall.get("reduction_min")
+    if not isinstance(reduction, (int, float)):
+        failures.append("latest entry records no reduction_min")
+    else:
+        ok = reduction >= min_reduction
+        print(
+            f" reduction_min: {reduction:6.1f}x (floor {min_reduction:.0f}x)  "
+            f"{'ok' if ok else 'BELOW FLOOR'}"
+        )
+        if not ok:
+            failures.append(
+                f"minimum trace reduction {reduction:.1f}x fell below the "
+                f"{min_reduction:.0f}x floor"
+            )
+
+    if markdown is not None:
+        with open(markdown, "a", encoding="utf-8") as handle:
+            handle.write(_sampling_markdown(latest, failures) + "\n")
+        print(f"appended markdown error table to {markdown}")
+    if failures:
+        print(f"{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("sampling error-budget gate: OK")
+    return 0
+
+
 def update(results_dir: Path, expected_path: Path) -> int:
     """Capture the current results as the new baseline."""
     fig3 = _load_report(results_dir, GATED["fig3_speedup"][0])
@@ -353,12 +501,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trajectory-file", type=Path,
                         default=DEFAULT_TRAJECTORY, metavar="PATH",
                         help="trajectory file (default: BENCH_sweep.json)")
+    parser.add_argument("--sampling", action="store_true",
+                        help="gate the BENCH_sampling.json sampled-vs-full "
+                             "error budget instead of the results/ artifacts")
+    parser.add_argument("--sampling-file", type=Path,
+                        default=DEFAULT_SAMPLING, metavar="PATH",
+                        help="sampling trajectory file "
+                             "(default: BENCH_sampling.json)")
     parser.add_argument("--min-batched-speedup", type=float,
                         default=MIN_BATCHED_SPEEDUP, metavar="RATIO",
                         help="floor on batched-vs-fast wall-clock speed-up "
                              f"(default: {MIN_BATCHED_SPEEDUP})")
     args = parser.parse_args(argv)
     try:
+        if args.sampling:
+            return check_sampling(args.sampling_file, markdown=args.markdown)
         if args.trajectory:
             return check_trajectory(
                 args.trajectory_file,

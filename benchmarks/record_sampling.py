@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Record a sampled-vs-full accuracy entry in ``BENCH_sampling.json``.
+
+Runs the representative-interval sampling validation harness
+(:mod:`repro.sampling.validate`) over the GAP and SPEC06 suites at the
+effective (``REPRO_SMOKE``) scales with the validated policy set, and
+appends a schema-versioned entry to ``BENCH_sampling.json`` at the
+repository root:
+
+* git SHA and UTC date of the measurement,
+* the sampling spec the accuracy was measured under,
+* per-suite and overall mean/max relative error on LLC MPKI and IPC,
+* the minimum and mean trace-reduction factor,
+* the full-over-sampled wall-clock ratio (informational — the gated
+  quantities are the error budget and the reduction floor, which are
+  host-independent; wall-clock is not).
+
+``check_regression.py --sampling`` gates the latest entry against the
+committed error budget, so a change that degrades sampling accuracy (or
+quietly erodes the trace reduction) fails CI instead of shipping.
+
+Usage::
+
+    REPRO_SMOKE=1 python benchmarks/record_sampling.py
+    python benchmarks/check_regression.py --sampling
+
+Appends are guarded (``recording_guard``): a dirty working tree or an
+existing entry for the same commit at the same shape refuses the
+recording unless ``--force`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+REPO_ROOT = BENCH_DIR.parent
+DEFAULT_TRAJECTORY = REPO_ROOT / "BENCH_sampling.json"
+
+#: Version of one sampling-trajectory entry's layout.
+ENTRY_SCHEMA = 1
+
+#: Entry fields defining the "shape" for the duplicate-recording guard.
+SHAPE_KEYS = ("smoke", "scale", "spec", "policies", "suite_names")
+
+
+def _git_sha() -> str:
+    """Delegates to the sweep recorder so both stamp SHAs identically."""
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    from record_trajectory import _git_sha as sweep_git_sha
+
+    return sweep_git_sha()
+
+
+def _scale() -> dict:
+    from repro.harness.experiments import (
+        effective_gap_scale,
+        effective_gap_window,
+        effective_spec_window,
+    )
+
+    return {
+        "gap_window": effective_gap_window(),
+        "gap_scale": effective_gap_scale(),
+        "spec_window": effective_spec_window(),
+    }
+
+
+def expected_shape(suites: tuple[str, ...]) -> dict:
+    """The shape the next entry will record, computed before measuring."""
+    from repro.harness.experiments import smoke_mode
+    from repro.sampling import VALIDATED_POLICIES, SamplingSpec
+
+    return {
+        "smoke": smoke_mode(),
+        "scale": _scale(),
+        "spec": SamplingSpec().to_json_dict(),
+        "policies": list(VALIDATED_POLICIES),
+        "suite_names": sorted(suites),
+    }
+
+
+def measure(suites: tuple[str, ...]) -> dict:
+    """One sampling-trajectory entry: the validation harness, aggregated."""
+    from repro.harness.experiments import smoke_mode
+    from repro.sampling import run_validation
+
+    report = run_validation(
+        suites=suites,
+        progress=lambda cell: print(f"  validating {cell} ...", file=sys.stderr),
+    )
+    overall = report.overall
+    wall_speedup = (
+        overall.full_wall_s / overall.sampled_wall_s
+        if overall.sampled_wall_s > 0
+        else 0.0
+    )
+    return {
+        "schema": ENTRY_SCHEMA,
+        "git_sha": _git_sha(),
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "smoke": smoke_mode(),
+        "scale": _scale(),
+        "spec": report.spec.to_json_dict(),
+        "policies": list(report.policies),
+        "suite_names": sorted(report.suites),
+        "suites": {
+            suite: summary.to_json_dict()
+            for suite, summary in sorted(report.suites.items())
+        },
+        "overall": overall.to_json_dict(),
+        "wall_speedup": round(wall_speedup, 2),
+    }
+
+
+def load_trajectory(path: Path) -> dict:
+    """The sampling trajectory document, or a fresh empty one."""
+    if path.is_file():
+        return json.loads(path.read_text(encoding="utf-8"))
+    return {
+        "schema": ENTRY_SCHEMA,
+        "description": (
+            "Sampled-vs-full accuracy trajectory of representative-interval "
+            "sampling on the smoke GAP+SPEC06 suites; appended by "
+            "benchmarks/record_sampling.py, gated by "
+            "benchmarks/check_regression.py --sampling (see docs/sampling.md)"
+        ),
+        "entries": [],
+    }
+
+
+def append_entry(path: Path, entry: dict) -> None:
+    document = load_trajectory(path)
+    document["entries"].append(entry)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suites", nargs="*", default=["gap", "spec06"],
+        choices=["gap", "spec06", "spec17"],
+        help="validation suites (default: gap spec06)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_TRAJECTORY,
+        help="trajectory file to append to (default: BENCH_sampling.json)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="record even with a dirty working tree or an existing entry "
+             "for this commit at the same shape",
+    )
+    args = parser.parse_args(argv)
+    if str(BENCH_DIR) not in sys.path:  # direct-script and importlib runs
+        sys.path.insert(0, str(BENCH_DIR))
+    from recording_guard import RecordingGuardError, guard_append
+
+    suites = tuple(args.suites)
+    try:
+        guard_append(
+            args.output,
+            load_trajectory(args.output).get("entries", []),
+            _git_sha(),
+            expected_shape(suites),
+            SHAPE_KEYS,
+            force=args.force,
+        )
+    except RecordingGuardError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    entry = measure(suites)
+    append_entry(args.output, entry)
+    overall = entry["overall"]
+    print(
+        f"appended entry for {entry['git_sha'][:12]} to {args.output} "
+        f"(mpki err mean {overall['mpki_err_mean']:.2%} "
+        f"max {overall['mpki_err_max']:.2%}, "
+        f"reduction min {overall['reduction_min']:.1f}x, "
+        f"wall speed-up {entry['wall_speedup']:.1f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.exit(main())

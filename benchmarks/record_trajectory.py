@@ -25,6 +25,11 @@ Usage::
     REPRO_SMOKE=1 python benchmarks/record_trajectory.py --jobs 1
     python benchmarks/check_regression.py --trajectory
 
+Appends are guarded (``recording_guard``): a dirty working tree or an
+existing entry for the same commit at the same matrix shape refuses the
+recording — either would poison the trajectory's latest-vs-previous
+comparison — unless ``--force`` is given.
+
 The gated quantity is the *ratio*, so the trajectory is recorded at
 ``--jobs 1`` by default even on multi-core hosts: serial runs keep the
 two engines' wall-clocks free of process-pool startup and per-worker
@@ -50,6 +55,11 @@ DEFAULT_TRAJECTORY = REPO_ROOT / "BENCH_sweep.json"
 
 #: Version of one trajectory entry's layout.
 ENTRY_SCHEMA = 1
+
+#: Entry fields that together define the "matrix shape" for the
+#: duplicate-recording guard: a re-measurement of the same commit at a
+#: different scale or matrix is allowed, an identical one is refused.
+SHAPE_KEYS = ("smoke", "scale", "matrix")
 
 #: Engines measured per entry, in run order. The fast per-cell engine
 #: runs first so its wall-clock is the denominator of the speed-up.
@@ -84,6 +94,40 @@ def _smoke_matrix() -> tuple[dict, list[str]]:
     traces.update(spec_traces("spec17"))
     policies = list(dict.fromkeys([BASELINE_POLICY, *PAPER_POLICIES]))
     return traces, policies
+
+
+def expected_shape(jobs: int) -> dict:
+    """The shape the next entry will record, computed before measuring.
+
+    Matches the ``SHAPE_KEYS`` fields :func:`measure` writes, so the
+    duplicate-recording guard can refuse *before* the (minutes-long)
+    measurement runs. ``jobs`` is accepted for signature symmetry but is
+    deliberately not part of the shape: re-recording the same commit at
+    a different ``--jobs`` still overwrites the gated ratio, so it is
+    just as much a duplicate.
+    """
+    del jobs
+    from repro.harness.experiments import (
+        effective_gap_scale,
+        effective_gap_window,
+        effective_spec_window,
+        smoke_mode,
+    )
+
+    traces, policies = _smoke_matrix()
+    return {
+        "smoke": smoke_mode(),
+        "scale": {
+            "gap_window": effective_gap_window(),
+            "gap_scale": effective_gap_scale(),
+            "spec_window": effective_spec_window(),
+        },
+        "matrix": {
+            "workloads": len(traces),
+            "policies": len(policies),
+            "cells": len(traces) * len(policies),
+        },
+    }
 
 
 def measure(jobs: int, repeats: int = 2) -> dict:
@@ -216,8 +260,30 @@ def main(argv: list[str] | None = None) -> int:
         "--output", type=Path, default=DEFAULT_TRAJECTORY,
         help="trajectory file to append to (default: BENCH_sweep.json)",
     )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="record even with a dirty working tree or an existing entry "
+             "for this commit at the same matrix shape",
+    )
     args = parser.parse_args(argv)
-    entry = measure(jobs=max(1, args.jobs), repeats=max(1, args.repeats))
+    if str(BENCH_DIR) not in sys.path:  # direct-script and importlib runs
+        sys.path.insert(0, str(BENCH_DIR))
+    from recording_guard import RecordingGuardError, guard_append
+
+    jobs = max(1, args.jobs)
+    try:
+        guard_append(
+            args.output,
+            load_trajectory(args.output).get("entries", []),
+            _git_sha(),
+            expected_shape(jobs),
+            SHAPE_KEYS,
+            force=args.force,
+        )
+    except RecordingGuardError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    entry = measure(jobs=jobs, repeats=max(1, args.repeats))
     append_entry(args.output, entry)
     print(
         f"appended entry for {entry['git_sha'][:12]} to {args.output} "

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Append guard shared by the benchmark recorders.
+
+``record_trajectory.py`` and ``record_sampling.py`` append entries to
+checked-in trajectory files (``BENCH_sweep.json``,
+``BENCH_sampling.json``) that the regression gates read. Two recording
+mistakes silently poison those trajectories:
+
+* **Dirty working tree** — the entry claims to measure ``git_sha`` but
+  the tree contains uncommitted edits, so the number is attributed to a
+  commit that never produced it.
+* **Duplicate (SHA, shape)** — re-running a recorder appends a second
+  entry for the same commit and matrix shape; the gate compares
+  latest-vs-previous, so the duplicate makes every regression check
+  compare a commit against itself and trivially pass.
+
+:func:`guard_append` refuses both before any measurement runs.
+``--force`` (the recorders' escape hatch) downgrades the refusal to a
+warning for intentional local recordings, e.g. re-baselining from a
+work-in-progress tree.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+class RecordingGuardError(RuntimeError):
+    """Recording refused: the entry would misattribute or duplicate."""
+
+
+def working_tree_changes(repo_root: Path = REPO_ROOT) -> list[str]:
+    """Porcelain status lines of uncommitted changes; [] outside git.
+
+    A broken or absent git is treated as "no changes detected" rather
+    than an error — the guard protects attribution, and with no
+    repository there is nothing to misattribute (``git_sha`` will be
+    ``unknown`` and the SHA guard stands down too).
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_root, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return []
+    if out.returncode != 0:
+        return []
+    return [line for line in out.stdout.splitlines() if line.strip()]
+
+
+def entry_shape(entry: dict, shape_keys: tuple[str, ...]) -> dict:
+    """The comparable shape of one trajectory entry."""
+    return {key: entry.get(key) for key in shape_keys}
+
+
+def guard_append(
+    output: Path,
+    entries: list[dict],
+    git_sha: str,
+    shape: dict,
+    shape_keys: tuple[str, ...],
+    force: bool = False,
+) -> None:
+    """Refuse an append that would misattribute or duplicate an entry.
+
+    ``shape`` is the new entry's shape (the same keys listed in
+    ``shape_keys``); existing entries are reduced to the same keys for
+    the duplicate check, so entries measured at a different scale or
+    matrix for the same commit are still allowed. Raises
+    :class:`RecordingGuardError` with every reason at once; ``force``
+    turns the refusal into a stderr warning.
+    """
+    reasons: list[str] = []
+    dirty = working_tree_changes()
+    if dirty:
+        listing = ", ".join(line.strip() for line in dirty[:5])
+        if len(dirty) > 5:
+            listing += f", ... ({len(dirty)} total)"
+        reasons.append(
+            f"working tree has uncommitted changes ({listing}); the entry "
+            f"would be attributed to {git_sha[:12]} but measure something else"
+        )
+    if git_sha not in ("", "unknown"):
+        duplicates = [
+            index
+            for index, entry in enumerate(entries)
+            if entry.get("git_sha") == git_sha
+            and entry_shape(entry, shape_keys) == shape
+        ]
+        if duplicates:
+            reasons.append(
+                f"{output.name} already has {len(duplicates)} entry(ies) for "
+                f"{git_sha[:12]} at this matrix shape (index "
+                f"{', '.join(str(i) for i in duplicates)}); the gate would "
+                "compare the commit against itself"
+            )
+    if not reasons:
+        return
+    if force:
+        for reason in reasons:
+            print(f"warning (--force): {reason}", file=sys.stderr)
+        return
+    raise RecordingGuardError(
+        "refusing to record:\n"
+        + "\n".join(f"  - {reason}" for reason in reasons)
+        + "\n(re-run with --force to record anyway)"
+    )

@@ -8,6 +8,9 @@ The subcommands cover the common workflows without writing a script:
   ``--retries``/``--cell-timeout`` arm the fault-tolerance layer;
 * ``profile`` — run one cell with interval-resolved telemetry armed and
   render (or dump as JSON) its profile;
+* ``sample`` — inspect a workload's representative-interval sampling
+  plan, or (``--validate``) measure sampled-vs-full error over whole
+  suites;
 * ``cache`` — inspect/verify/clear/prune the sweep engine's result cache;
 * ``chaos`` — deterministic fault injection (worker crashes, hangs,
   corrupt cache entries, truncated traces) over a small GAP sweep,
@@ -125,6 +128,59 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sampling_spec_from(args: argparse.Namespace):
+    """A SamplingSpec from ``--sampling``, or None when sampling is off."""
+    if not getattr(args, "sampling", None):
+        return None
+    from .sampling import SamplingSpec
+
+    return SamplingSpec.from_string(args.sampling)
+
+
+def cmd_sample(args: argparse.Namespace) -> int:
+    """Inspect a sampling plan, or validate sampled-vs-full accuracy."""
+    import json
+
+    from .sampling import SamplingSpec, build_plan, run_validation
+
+    spec = SamplingSpec.from_string(args.spec)
+    if args.validate:
+        report = run_validation(
+            suites=tuple(args.suites),
+            spec=spec,
+            progress=lambda cell: print(f"  validating {cell} ...", file=sys.stderr),
+        )
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(report.to_json_dict(), indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.json}", file=sys.stderr)
+        print(report.render())
+        return 0
+    if not args.workloads:
+        raise ReproError("sample needs at least one workload (or --validate)")
+    for workload in args.workloads:
+        trace = _build_trace(workload, args.window)
+        plan = build_plan(trace, spec)
+        print(plan.summary())
+        if args.verbose:
+            for interval in plan.intervals:
+                print(
+                    f"  interval {interval.index}: records "
+                    f"[{interval.start}, {interval.stop}) "
+                    f"warm from {interval.warm_start}, "
+                    f"weight {interval.weight} (cluster {interval.cluster})"
+                )
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(plan.to_json_dict(), indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def _default_cache_dir() -> Path:
     """The CLI's cache root: ``REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``."""
     env = os.environ.get("REPRO_CACHE_DIR", "").strip()
@@ -176,6 +232,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         engine=engine,
         retry=_retry_policy_from(args),
         cell_engine=args.engine,
+        sampling=_sampling_spec_from(args),
     )
     rows = [
         [w, *[matrix.speedup(w, p) for p in policies[1:]]]
@@ -450,6 +507,11 @@ def main(argv: list[str] | None = None) -> int:
                               "'batched' shares one decoded access stream "
                               "across all eligible policies per workload "
                               "(default: fast; all bit-identical)")
+    p_sweep.add_argument("--sampling", metavar="SPEC", default=None,
+                         help="run cells under representative-interval "
+                              "sampling; SPEC is 'default' or "
+                              "'k=4,window=0,warm=1,seed=0' "
+                              "(see docs/sampling.md)")
     _add_retry_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -468,6 +530,30 @@ def main(argv: list[str] | None = None) -> int:
     p_prof.add_argument("--markdown", action="store_true",
                         help="render as markdown instead of plain text")
     p_prof.set_defaults(func=cmd_profile)
+
+    p_sample = sub.add_parser(
+        "sample",
+        help="inspect representative-interval sampling plans, or "
+             "--validate sampled-vs-full accuracy over whole suites")
+    p_sample.add_argument("workloads", nargs="*",
+                          help="gap.<kernel>[.scale] | spec06.<name> | "
+                               "spec17.<name> (plan inspection mode)")
+    p_sample.add_argument("--spec", default="default",
+                          help="sampling spec: 'default' or "
+                               "'k=4,window=0,warm=1,seed=0,reduction=12'")
+    p_sample.add_argument("--window", type=int, default=200_000,
+                          help="traced accesses (default 200k)")
+    p_sample.add_argument("--validate", action="store_true",
+                          help="run the sampled-vs-full validation harness "
+                               "instead of inspecting plans")
+    p_sample.add_argument("--suites", nargs="*", default=["gap", "spec06"],
+                          choices=["gap", "spec06", "spec17"],
+                          help="suites for --validate (default: gap spec06)")
+    p_sample.add_argument("--json", metavar="PATH",
+                          help="also write the plan/report as JSON here")
+    p_sample.add_argument("--verbose", action="store_true",
+                          help="list every selected interval")
+    p_sample.set_defaults(func=cmd_sample)
 
     p_cache = sub.add_parser(
         "cache", help="inspect/verify/clear/prune the sweep result cache")

@@ -13,6 +13,8 @@ rather than cold caches — the same methodology ChampSim uses.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..errors import ConfigurationError
 from ..mem.cache import Cache, CacheStats
 from ..mem.dram import DRAM, DRAMStats
@@ -26,6 +28,9 @@ from ..trace.trace import Trace
 from .config import CacheConfig, MachineConfig, cascade_lake
 from .cpu import CoreModel
 from .results import SimulationResult, snapshot_result
+
+if TYPE_CHECKING:
+    from ..sampling.spec import SamplingSpec
 
 #: Default fraction of the trace used to warm the hierarchy.
 DEFAULT_WARMUP_FRACTION = 0.2
@@ -139,6 +144,7 @@ def simulate(
     sanitize: bool = False,
     telemetry: TelemetryConfig | None = None,
     engine: str = "fast",
+    sampling: SamplingSpec | None = None,
 ) -> SimulationResult:
     """Simulate ``trace`` on a machine and return measured statistics.
 
@@ -178,6 +184,16 @@ def simulate(
         engines produce bit-identical :class:`SimulationResult` values
         (``repro verify-fastpath`` proves this), so ``engine`` is
         deliberately *not* recorded in ``result.info``.
+    sampling:
+        Run under representative-interval sampling
+        (:mod:`repro.sampling`) instead of simulating every access: the
+        trace is windowed, clustered, and only weighted representative
+        intervals are simulated, the per-interval results recombined
+        into a full-run *estimate*. Sampled results carry the spec and
+        executed plan in ``result.info`` and are subject to the error
+        budget gated in CI (docs/sampling.md). Incompatible with
+        ``telemetry``, ``sanitize``, ``l2_prefetcher`` and a pre-built
+        ``hierarchy`` — those paths need every access.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigurationError(
@@ -186,6 +202,32 @@ def simulate(
     if engine not in ("fast", "reference"):
         raise ConfigurationError(
             f'engine must be "fast" or "reference", got {engine!r}'
+        )
+    if sampling is not None:
+        if telemetry is not None:
+            raise ConfigurationError(
+                "sampling and telemetry are mutually exclusive: interval "
+                "telemetry needs the full measured region"
+            )
+        if sanitize:
+            raise ConfigurationError(
+                "sampling and sanitize are mutually exclusive: the "
+                "sanitizer checks invariants over every access"
+            )
+        if l2_prefetcher is not None or hierarchy is not None:
+            raise ConfigurationError(
+                "sampling does not support a prefetcher or a pre-built "
+                "hierarchy; pass config/llc_policy instead"
+            )
+        from ..sampling.executor import simulate_sampled
+
+        return simulate_sampled(
+            trace,
+            config=config,
+            llc_policy=llc_policy,
+            warmup_fraction=warmup_fraction,
+            sampling=sampling,
+            engine=engine,
         )
     if config is None:
         config = cascade_lake()

@@ -46,6 +46,7 @@ from ..errors import CacheIntegrityError, ConfigurationError, SimulationError
 from ..resilience.executor import ResilientExecutor
 from ..resilience.policy import FailureKind, RetryPolicy
 from ..resilience.report import FailureReport
+from ..sampling.spec import SamplingSpec
 from ..telemetry.collector import TelemetryConfig
 from ..trace.trace import Trace
 from .runner import RunMatrix
@@ -73,11 +74,16 @@ QUARANTINE_DIR = "quarantine"
 #: profile rides inside ``result.info`` of telemetry-armed cells;
 #: ``trace`` because record decoding and kind numbering are semantics;
 #: ``errors.py`` and ``lint/sanitize.py`` because the simulator imports
-#: them at runtime.
+#: them at runtime. ``sampling`` is included because a sampled cell's
+#: result depends on plan selection and warm-state synthesis, and
+#: ``analysis`` because the sampling features build on
+#: :mod:`repro.analysis.phases` window profiling.
 SALT_SOURCE_PACKAGES = (
+    "analysis",
     "core",
     "mem",
     "policies",
+    "sampling",
     "telemetry",
     "trace",
     "errors.py",
@@ -185,6 +191,7 @@ def cell_key(
     sanitize: bool = False,
     salt: str | None = None,
     telemetry: TelemetryConfig | None = None,
+    sampling: SamplingSpec | None = None,
 ) -> str:
     """The content address of one sweep cell.
 
@@ -193,7 +200,8 @@ def cell_key(
     name (policy *parameters* live in the policy source, which the salt
     covers), the full machine configuration, the warm-up fraction, the
     sanitize flag and telemetry configuration (both add fields to
-    ``result.info``) and the simulator salt.
+    ``result.info``), the sampling spec (a sampled cell is an estimate,
+    never interchangeable with a full one) and the simulator salt.
     """
     doc = {
         "trace": trace.digest(),
@@ -202,6 +210,7 @@ def cell_key(
         "warmup_fraction": warmup_fraction,
         "sanitize": bool(sanitize),
         "telemetry": telemetry.to_json_dict() if telemetry is not None else None,
+        "sampling": sampling.to_json_dict() if sampling is not None else None,
         "salt": salt if salt is not None else simulator_salt(),
     }
     canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
@@ -549,6 +558,7 @@ def _simulate_cell(
     sanitize: bool,
     telemetry: TelemetryConfig | None = None,
     engine: str = "fast",
+    sampling: SamplingSpec | None = None,
 ) -> tuple[str, str, SimulationResult]:
     """Worker entry point: simulate one cell (runs in a pool process)."""
     result = simulate(
@@ -559,6 +569,7 @@ def _simulate_cell(
         sanitize=sanitize,
         telemetry=telemetry,
         engine=engine,
+        sampling=sampling,
     )
     return workload, policy, result
 
@@ -589,6 +600,7 @@ def _simulate_cell_by_name(
     sanitize: bool,
     telemetry: TelemetryConfig | None = None,
     engine: str = "fast",
+    sampling: SamplingSpec | None = None,
 ) -> tuple[str, str, SimulationResult]:
     """Worker entry point resolving the trace from the worker registry."""
     trace = _WORKER_TRACES.get(workload)
@@ -599,7 +611,7 @@ def _simulate_cell_by_name(
         )
     return _simulate_cell(
         workload, policy, trace, config, warmup_fraction, sanitize, telemetry,
-        engine,
+        engine, sampling,
     )
 
 
@@ -735,6 +747,7 @@ class SweepEngine:
         retry: RetryPolicy | None = None,
         chaos: "ChaosPlan | None" = None,
         engine: str = "fast",
+        sampling: SamplingSpec | None = None,
     ) -> SweepOutcome:
         """Run every (trace, policy) cell and assemble a :class:`RunMatrix`.
 
@@ -768,12 +781,31 @@ class SweepEngine:
         access-stream plan, falling back to the ordinary per-cell path
         for ineligible or failed cells. All three are bit-identical, so
         the engine choice is deliberately *not* part of the cache key.
+
+        ``sampling`` runs every cell under representative-interval
+        sampling (:mod:`repro.sampling`); the spec *is* part of the
+        cache key, because sampled cells are estimates. Sampled sweeps
+        are bit-identical between serial and parallel execution (the
+        plan is a pure function of trace and spec), skip the batched
+        group path (a batch plan replays every access by construction)
+        and refuse telemetry, sanitize and chaos, which all need the
+        full access stream.
         """
         if engine not in ("fast", "reference", "batched"):
             raise ConfigurationError(
                 f"unknown sweep engine {engine!r}; "
                 "expected 'fast', 'reference' or 'batched'"
             )
+        if sampling is not None:
+            if telemetry is not None or sanitize:
+                raise ConfigurationError(
+                    "sampling cannot be combined with telemetry or the "
+                    "sanitizer: both need every access of the measured region"
+                )
+            if chaos is not None:
+                raise ConfigurationError(
+                    "sampling cannot be combined with chaos injection"
+                )
         if isinstance(traces, list):
             traces = {t.name: t for t in traces}
         if config is None:
@@ -796,6 +828,7 @@ class SweepEngine:
                 key = cell_key(
                     traces[workload], policy, config, warmup_fraction,
                     sanitize=sanitize, salt=self.salt, telemetry=telemetry,
+                    sampling=sampling,
                 )
                 keys[(workload, policy)] = key
                 cached = self.cache.load(key)
@@ -837,7 +870,10 @@ class SweepEngine:
         # (which preserves retry classification, chaos injection and
         # sanitizer semantics the batch path deliberately excludes).
         cell_engine = "fast" if engine == "batched" else engine
-        if engine == "batched" and pending and not sanitize and chaos is None:
+        if (
+            engine == "batched" and pending and not sanitize
+            and chaos is None and sampling is None
+        ):
             pending = self._run_batched(
                 pending, traces, config, warmup_fraction, telemetry, record,
             )
@@ -847,7 +883,7 @@ class SweepEngine:
             failure_report = self._run_resilient(
                 pending, traces, config, warmup_fraction, sanitize, telemetry,
                 retry if retry is not None else RetryPolicy(),
-                chaos, record, record_failure, cell_engine,
+                chaos, record, record_failure, cell_engine, sampling,
             )
             if self.cache is not None:
                 failure_report.quarantined_cache_entries = (
@@ -856,7 +892,7 @@ class SweepEngine:
         elif self.jobs > 1 and len(pending) > 1:
             self._run_parallel(
                 pending, traces, config, warmup_fraction, sanitize, telemetry,
-                record, record_failure, cell_engine,
+                record, record_failure, cell_engine, sampling,
             )
         else:
             for workload, policy in pending:
@@ -864,6 +900,7 @@ class SweepEngine:
                     _, _, result = _simulate_cell(
                         workload, policy, traces[workload], config,
                         warmup_fraction, sanitize, telemetry, cell_engine,
+                        sampling,
                     )
                 except (KeyboardInterrupt, SystemExit):
                     raise  # never swallowed into a CellError
@@ -906,6 +943,7 @@ class SweepEngine:
         record: Callable[[str, str, SimulationResult], None],
         record_failure: Callable[..., None],
         engine: str = "fast",
+        sampling: SamplingSpec | None = None,
     ) -> FailureReport:
         """Run pending cells through the fault-tolerant executor.
 
@@ -934,12 +972,13 @@ class SweepEngine:
                 return pool.submit(
                     _simulate_cell_by_name, workload, policy,
                     config, warmup_fraction, sanitize, telemetry, engine,
+                    sampling,
                 )
 
         def run_inline(workload: str, policy: str, attempt: int):  # noqa: ARG001
             return _simulate_cell(
                 workload, policy, traces[workload], config, warmup_fraction,
-                sanitize, telemetry, engine,
+                sanitize, telemetry, engine, sampling,
             )
 
         def on_success(workload: str, policy: str, payload: object) -> None:
@@ -990,6 +1029,7 @@ class SweepEngine:
         record: Callable[[str, str, SimulationResult], None],
         record_failure: Callable[..., None],
         engine: str = "fast",
+        sampling: SamplingSpec | None = None,
     ) -> None:
         """Fan pending cells out over a process pool, streaming results.
 
@@ -1007,6 +1047,7 @@ class SweepEngine:
                 pool.submit(
                     _simulate_cell_by_name, workload, policy,
                     config, warmup_fraction, sanitize, telemetry, engine,
+                    sampling,
                 ): (workload, policy)
                 for workload, policy in pending
             }

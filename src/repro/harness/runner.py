@@ -25,6 +25,7 @@ from ..trace.trace import Trace
 if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us)
     from ..resilience.policy import RetryPolicy
     from ..resilience.report import FailureReport
+    from ..sampling.spec import SamplingSpec
     from ..telemetry.collector import TelemetryConfig
     from .engine import SweepEngine, SweepStats
 
@@ -101,6 +102,7 @@ def run_matrix(
     telemetry: "TelemetryConfig | None" = None,
     retry: "RetryPolicy | None" = None,
     cell_engine: str = "fast",
+    sampling: "SamplingSpec | None" = None,
 ) -> RunMatrix:
     """Simulate every (trace, policy) pair through the sweep engine.
 
@@ -129,6 +131,11 @@ def run_matrix(
     plan (see docs/performance.md); all three are bit-identical.
     (``engine`` names the *sweep* engine instance, hence the separate
     keyword.)
+
+    ``sampling`` runs every cell under representative-interval sampling
+    (:mod:`repro.sampling`, docs/sampling.md): only weighted
+    representative intervals simulate and each cell's result is a
+    recombined estimate, cached under a key that includes the spec.
     """
     from .engine import SweepEngine
 
@@ -144,6 +151,7 @@ def run_matrix(
         telemetry=telemetry,
         retry=retry,
         engine=cell_engine,
+        sampling=sampling,
     )
     outcome.matrix.sweep_stats = outcome.stats
     outcome.matrix.failure_report = outcome.failure_report

@@ -35,12 +35,13 @@ SALT_VARIABLE = "SALT_SOURCE_PACKAGES"
 
 #: Entry points of the simulation, relative to the package root: the
 #: reference driver, the fast-path engine, the batched multi-cell
-#: engine, and the policy registry.
+#: engine, the sampling executor, and the policy registry.
 ENTRY_MODULE_SUFFIXES = (
     "core.simulator",
     "mem.fastpath",
     "mem.batch",
     "policies.registry",
+    "sampling.executor",
 )
 
 

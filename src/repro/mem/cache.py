@@ -278,6 +278,22 @@ class Cache:
             hit=False, victim_block=victim_block, victim_dirty=victim_dirty
         )
 
+    def reset_content(self) -> None:
+        """Drop every resident line, keeping policy and statistics state.
+
+        Used by the sampling executor (:mod:`repro.sampling`) before it
+        re-synthesizes warm content at an interval boundary: the tag and
+        dirty arrays are cleared so subsequent :meth:`fill` calls land in
+        invalid ways, while the policy object (and any global predictor
+        state it carries) survives untouched.
+        """
+        for row in self._tags:
+            for way in range(self.num_ways):
+                row[way] = -1
+        for drow in self._dirty:
+            for way in range(self.num_ways):
+                drow[way] = False
+
     def invalidate(self, block: int) -> bool:
         """Drop a block if resident (returns whether it was)."""
         set_index = block & self._set_mask

@@ -1,0 +1,292 @@
+"""Sampled simulation: execute a plan and recombine the estimate.
+
+The executor runs each representative interval of a
+:class:`~repro.sampling.plan.SamplingPlan` in trace order:
+
+1. **Warm-state synthesis** — per-level cache content at the interval's
+   warm-up boundary is reconstructed from the trace's access recency (a
+   memory-timestamp-record pass: the most recently touched blocks, up
+   to each level's capacity, injected oldest-first through the normal
+   fill path). Without this, every interval starts from cold caches and
+   the sampled MPKI overshoots the full run by an order of magnitude at
+   smoke scale.
+2. **Simulated warm-up** — ``spec.warm_windows`` windows of real
+   simulation settle DRAM row buffers/bank queues, MSHR-equivalent
+   timing state and policy recency before measurement, then
+   ``_reset_statistics`` discards the warm statistics and rebases the
+   DRAM bank clocks to the measured core's origin — the same boundary
+   correction a full run applies after its warm-up phase, generalized
+   to every interval boundary.
+3. **Measurement** — the interval runs under the fast engine when
+   eligible (the reference hot loop otherwise) and is snapshotted into
+   a per-interval :class:`~repro.core.results.SimulationResult`.
+
+Per-interval results recombine into one full-run estimate by weighting
+every counter with its interval's cluster population (SimPoint's
+weighted sum). Policy *global* state (e.g. SHiP's signature counters)
+deliberately carries across intervals in trace order; per-line metadata
+is rebuilt by the synthesis fills.
+
+Known limitation, documented in docs/sampling.md: recency-based
+synthesis reconstructs LRU-like content, so thrash-*resistant* policies
+whose steady-state content diverges from recency order (SHiP, Hawkeye
+on streaming workloads) see larger errors than recency-family policies;
+the committed error budget is validated for the latter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import MachineConfig, cascade_lake
+from ..core.cpu import CoreModel
+from ..core.results import LevelStats, SimulationResult, snapshot_result
+from ..core.simulator import (
+    DEFAULT_WARMUP_FRACTION,
+    _reset_statistics,
+    _run_accesses,
+    build_hierarchy,
+)
+from ..errors import ConfigurationError, SimulationError
+from ..mem.fastpath import FastMachine, fastpath_eligible
+from ..mem.hierarchy import CacheHierarchy, ServiceLevel
+from ..policies.base import ReplacementPolicy
+from ..trace.record import AccessKind
+from ..trace.trace import Trace
+from .plan import SamplingPlan, build_plan
+from .spec import SamplingSpec
+
+
+def synthesize_warm_state(
+    hierarchy: CacheHierarchy, trace: Trace, boundary: int
+) -> int:
+    """Rebuild per-level cache content from trace recency before ``boundary``.
+
+    For every level, the most recently last-touched blocks of the trace
+    prefix ``[0, boundary)`` — capped at the level's capacity — are
+    injected oldest-first through the normal :meth:`Cache.fill` path,
+    so per-line policy metadata (RRPV, signatures, recency stacks) is
+    initialized by the policy itself. Instruction blocks go to the L1I,
+    data blocks to the L1D, and both to L2/LLC, mirroring the
+    hierarchy's routing. Policy eviction *training* is suppressed for
+    the duration (set-conflict evictions during injection are artifacts
+    of the rebuild, not observed program behaviour). Returns the number
+    of fills performed.
+    """
+    if boundary <= 0:
+        for cache in hierarchy.caches.values():
+            cache.reset_content()
+        return 0
+    block_bits = hierarchy.block_bits
+    blocks = trace.block_addrs(block_bits)[:boundary]
+    kinds = trace.kinds[:boundary]
+    pcs = trace.pcs[:boundary]
+    # np.unique(reversed prefix) gives each block's *first* index in the
+    # reversed view = its *last* access in the prefix.
+    uniq, first_rev = np.unique(blocks[::-1], return_index=True)
+    last_index = boundary - 1 - first_rev
+    order = np.argsort(last_index, kind="stable")  # oldest last-touch first
+    ordered_blocks = uniq[order]
+    ordered_last = last_index[order]
+    ordered_kinds = kinds[ordered_last]
+    ordered_pcs = pcs[ordered_last]
+    instruction = ordered_kinds == AccessKind.IFETCH
+    fills = 0
+    for cache, mask in (
+        (hierarchy.l1i, instruction),
+        (hierarchy.l1d, ~instruction),
+        (hierarchy.l2, None),
+        (hierarchy.llc, None),
+    ):
+        if mask is None:
+            level_blocks, level_pcs, level_kinds = (
+                ordered_blocks, ordered_pcs, ordered_kinds,
+            )
+        else:
+            level_blocks = ordered_blocks[mask]
+            level_pcs = ordered_pcs[mask]
+            level_kinds = ordered_kinds[mask]
+        capacity = cache.num_sets * cache.num_ways
+        if len(level_blocks) > capacity:
+            level_blocks = level_blocks[-capacity:]
+            level_pcs = level_pcs[-capacity:]
+            level_kinds = level_kinds[-capacity:]
+        cache.reset_content()
+        fill = cache.fill
+        policy = cache.policy
+        saved_on_eviction = policy.on_eviction
+        policy.on_eviction = (  # type: ignore[method-assign]
+            lambda set_index, way, victim_block: None
+        )
+        try:
+            for block, pc, kind in zip(
+                level_blocks.tolist(), level_pcs.tolist(), level_kinds.tolist()
+            ):
+                fill(block, pc, int(kind))
+                fills += 1
+        finally:
+            policy.on_eviction = saved_on_eviction  # type: ignore[method-assign]
+    return fills
+
+
+def _weighted_ratio(pairs: list[tuple[float, float]]) -> float:
+    """Weighted mean of (value, weight) pairs; 0.0 on zero total weight."""
+    total_weight = sum(weight for _, weight in pairs)
+    if total_weight <= 0:
+        return 0.0
+    return sum(value * weight for value, weight in pairs) / total_weight
+
+
+def recombine(
+    measurements: list[tuple[SimulationResult, int]],
+    workload: str,
+    policy: str,
+    info: dict | None = None,
+) -> SimulationResult:
+    """Weighted recombination of per-interval results into one estimate.
+
+    Every additive counter (instructions, cycles, per-level cache
+    counters, DRAM traffic, service-level attribution) is the weighted
+    sum over intervals; ratio metrics are weighted by their natural
+    denominators — the DRAM row-hit rate by each interval's DRAM
+    traffic, the mean load latency by each interval's instruction count
+    (a per-interval proxy for its load count).
+    """
+    if not measurements:
+        raise SimulationError(
+            f"sampling produced no measured intervals for {workload!r}"
+        )
+    level_names = list(measurements[0][0].levels)
+    levels: dict[str, LevelStats] = {}
+    for name in level_names:
+        levels[name] = LevelStats(
+            name=name,
+            demand_accesses=sum(
+                m.levels[name].demand_accesses * w for m, w in measurements
+            ),
+            demand_hits=sum(m.levels[name].demand_hits * w for m, w in measurements),
+            writeback_accesses=sum(
+                m.levels[name].writeback_accesses * w for m, w in measurements
+            ),
+            prefetch_accesses=sum(
+                m.levels[name].prefetch_accesses * w for m, w in measurements
+            ),
+            prefetch_hits=sum(
+                m.levels[name].prefetch_hits * w for m, w in measurements
+            ),
+            evictions=sum(m.levels[name].evictions * w for m, w in measurements),
+            dirty_evictions=sum(
+                m.levels[name].dirty_evictions * w for m, w in measurements
+            ),
+            bypasses=sum(m.levels[name].bypasses * w for m, w in measurements),
+        )
+    served_by: dict[ServiceLevel, int] = {}
+    for measurement, weight in measurements:
+        for level, count in measurement.served_by.items():
+            served_by[level] = served_by.get(level, 0) + count * weight
+    return SimulationResult(
+        workload=workload,
+        policy=policy,
+        instructions=sum(m.instructions * w for m, w in measurements),
+        cycles=float(sum(m.cycles * w for m, w in measurements)),
+        levels=levels,
+        served_by=served_by,
+        l1d_misses=sum(m.l1d_misses * w for m, w in measurements),
+        l1d_misses_to_dram=sum(
+            m.l1d_misses_to_dram * w for m, w in measurements
+        ),
+        dram_reads=sum(m.dram_reads * w for m, w in measurements),
+        dram_writes=sum(m.dram_writes * w for m, w in measurements),
+        dram_row_hit_rate=_weighted_ratio(
+            [
+                (m.dram_row_hit_rate, float(w * (m.dram_reads + m.dram_writes)))
+                for m, w in measurements
+            ]
+        ),
+        mean_load_latency=_weighted_ratio(
+            [(m.mean_load_latency, float(w * m.instructions)) for m, w in measurements]
+        ),
+        rob_stall_cycles=float(
+            sum(m.rob_stall_cycles * w for m, w in measurements)
+        ),
+        info=dict(info or {}),
+    )
+
+
+def simulate_sampled(
+    trace: Trace,
+    config: MachineConfig | None = None,
+    llc_policy: ReplacementPolicy | str = "lru",
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    sampling: SamplingSpec | None = None,
+    engine: str = "fast",
+    plan: SamplingPlan | None = None,
+) -> SimulationResult:
+    """Run ``trace`` under representative-interval sampling.
+
+    Drop-in sampled counterpart of :func:`repro.core.simulator.simulate`
+    for the plain (no telemetry, no sanitizer, no prefetcher) cell: the
+    returned :class:`SimulationResult` estimates what the full run would
+    measure, with the sampling spec and executed plan recorded in
+    ``result.info``. Deterministic for a fixed ``(trace, spec)``:
+    repeated calls return bit-identical results.
+    """
+    if sampling is None:
+        sampling = SamplingSpec()
+    if engine not in ("fast", "reference"):
+        raise ConfigurationError(
+            f'sampled engine must be "fast" or "reference", got {engine!r}'
+        )
+    if config is None:
+        config = cascade_lake()
+    if plan is None:
+        plan = build_plan(trace, sampling, warmup_fraction)
+    hierarchy = build_hierarchy(config, llc_policy)
+    policy_name = hierarchy.llc.policy.name
+    use_fast = engine == "fast" and fastpath_eligible(hierarchy, trace)
+
+    measurements: list[tuple[SimulationResult, int]] = []
+    synthesis_fills = 0
+    for interval in plan.intervals:
+        synthesis_fills += synthesize_warm_state(
+            hierarchy, trace, interval.warm_start
+        )
+        warm_core = CoreModel(config.core)
+        if interval.warm_start < interval.start:
+            if use_fast:
+                fast = FastMachine(hierarchy)
+                fast.run(warm_core, trace, interval.warm_start, interval.start)
+                warm_core.drain()
+                fast.checkin()
+            else:
+                _run_accesses(
+                    hierarchy, warm_core, trace, interval.warm_start, interval.start
+                )
+                warm_core.drain()
+        _reset_statistics(hierarchy, int(warm_core.cycle))
+        core = CoreModel(config.core)
+        if use_fast:
+            fast = FastMachine(hierarchy)
+            fast.run(core, trace, interval.start, interval.stop)
+            core_stats = core.drain()
+            fast.checkin()
+        else:
+            _run_accesses(hierarchy, core, trace, interval.start, interval.stop)
+            core_stats = core.drain()
+        measurements.append(
+            (
+                snapshot_result(trace.name, policy_name, hierarchy, core_stats),
+                interval.weight,
+            )
+        )
+        _reset_statistics(hierarchy, int(core.cycle))
+
+    info = {
+        "sampling": sampling.to_json_dict(),
+        "sampling_plan": plan.to_json_dict(),
+        "sampling_synthesis_fills": synthesis_fills,
+        "warmup_accesses": int(len(trace) * warmup_fraction),
+        "measured_accesses": sum(i.measured_accesses for i in plan.intervals),
+        **trace.info,
+    }
+    return recombine(measurements, trace.name, policy_name, info)

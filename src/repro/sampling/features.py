@@ -1,0 +1,74 @@
+"""BBV-like per-window feature vectors for interval clustering.
+
+Each fixed-size access window of a trace gets one feature vector built
+from two parts:
+
+* the behaviour metrics :mod:`repro.analysis.phases` already computes
+  per window (footprint, store fraction, PC count, new-block fraction),
+  normalized per dimension by the maximum observed magnitude, and
+* a bucketed program-counter histogram — the memory-access analogue of
+  SimPoint's basic-block vector: windows dominated by the same code
+  regions land in the same buckets.
+
+PC bucketing uses a fixed multiplicative hash (the 64-bit golden-ratio
+constant) rather than Python's builtin ``hash``, which is salted per
+process: feature vectors must be identical across worker processes for
+a parallel sweep to select the same intervals as a serial one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.phases import profile_windows
+from ..trace.trace import Trace
+
+#: Number of PC histogram buckets appended to each behaviour vector.
+PC_BUCKETS = 16
+
+#: Fixed multiplicative mixing constant (2^64 / golden ratio). The
+#: bucket of a PC is the top ``log2(PC_BUCKETS)`` bits of ``pc * MIX``
+#: mod 2^64 — deterministic across processes and platforms, unlike
+#: Python's per-process-salted ``hash``.
+PC_HASH_MIX = 0x9E3779B97F4A7C15
+
+
+def pc_bucket_histogram(pcs: np.ndarray, buckets: int = PC_BUCKETS) -> np.ndarray:
+    """Normalized histogram of hashed PC buckets for one window."""
+    shift = np.uint64(64 - int(buckets).bit_length() + 1)
+    mixed = (pcs.astype(np.uint64) * np.uint64(PC_HASH_MIX)) >> shift
+    hist = np.bincount(mixed.astype(np.int64), minlength=buckets).astype(np.float64)
+    total = hist.sum()
+    if total > 0:
+        hist /= total
+    return hist
+
+
+def window_features(
+    trace: Trace, window_size: int, first_start: int = 0
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Feature vectors for every window starting at or after ``first_start``.
+
+    Returns ``(vectors, spans)`` where ``vectors[i]`` is the feature
+    vector of the window covering trace records ``spans[i] = (start,
+    stop)``. Windows beginning before ``first_start`` (the full-run
+    warm-up region) are excluded so sampling measures the same region a
+    full simulation does; when *every* window falls inside the warm-up
+    region (trace shorter than one window), all windows are kept so a
+    degenerate trace still yields a plan.
+    """
+    profiles = profile_windows(trace, window_size)
+    eligible = [p for p in profiles if p.start >= first_start]
+    if not eligible:
+        eligible = profiles
+    base = np.stack([p.vector() for p in eligible])
+    scale = np.maximum(np.abs(base).max(axis=0), 1e-9)
+    base = base / scale
+    pcs = trace.pcs
+    histograms = []
+    spans: list[tuple[int, int]] = []
+    for profile in eligible:
+        stop = min(profile.start + window_size, len(trace))
+        histograms.append(pc_bucket_histogram(pcs[profile.start:stop]))
+        spans.append((profile.start, stop))
+    return np.hstack([base, np.stack(histograms)]), spans

@@ -1,0 +1,88 @@
+"""Deterministic seeded k-means for interval clustering.
+
+A minimal k-means++ implementation over numpy with every source of
+randomness drawn from one ``np.random.default_rng(seed)`` stream: the
+same vectors and seed produce bit-identical assignments in every
+process, which the sampling layer's determinism guarantee rests on.
+(scikit-learn is deliberately not used — the repo's only runtime
+dependency is numpy.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Cluster assignment of every vector plus final geometry."""
+
+    #: ``assignments[i]`` is the cluster index of vector ``i``.
+    assignments: np.ndarray
+    #: Final cluster centers, shape ``(k, dims)``.
+    centers: np.ndarray
+    #: Squared distance of every vector to every center, ``(n, k)``.
+    distances: np.ndarray
+
+    @property
+    def k(self) -> int:
+        return int(self.centers.shape[0])
+
+
+def _squared_distances(vectors: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, shape (n, k)."""
+    return ((vectors[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+
+
+def kmeans(
+    vectors: np.ndarray, k: int, seed: int, max_iters: int = 50
+) -> KMeansResult:
+    """Cluster ``vectors`` into at most ``k`` groups, deterministically.
+
+    Uses k-means++ seeding (D^2-weighted center choice) followed by
+    Lloyd iterations until assignment convergence or ``max_iters``.
+    ``k`` is clamped to the number of vectors; an empty cluster keeps
+    its previous center (its representative simply attracts no
+    members, and the selection step skips it).
+    """
+    rng = np.random.default_rng(seed)
+    n = len(vectors)
+    if n == 0:
+        raise ValueError("kmeans needs at least one vector")
+    k = min(k, n)
+    chosen = [vectors[int(rng.integers(n))]]
+    for _ in range(1, k):
+        d2 = np.min(
+            np.stack([((vectors - c) ** 2).sum(axis=1) for c in chosen]), axis=0
+        )
+        total = d2.sum()
+        if total <= 0:
+            # All remaining mass sits on already-chosen centers
+            # (duplicate vectors); fall back to a uniform draw.
+            chosen.append(vectors[int(rng.integers(n))])
+            continue
+        chosen.append(vectors[int(rng.choice(n, p=d2 / total))])
+    centers = np.stack(chosen)
+    for _ in range(max_iters):
+        distances = _squared_distances(vectors, centers)
+        assignments = distances.argmin(axis=1)
+        updated = np.stack(
+            [
+                vectors[assignments == c].mean(axis=0)
+                if (assignments == c).any()
+                else centers[c]
+                for c in range(k)
+            ]
+        )
+        if np.allclose(updated, centers):
+            centers = updated
+            break
+        centers = updated
+    distances = _squared_distances(vectors, centers)
+    return KMeansResult(
+        assignments=distances.argmin(axis=1),
+        centers=centers,
+        distances=distances,
+    )

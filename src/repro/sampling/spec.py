@@ -1,0 +1,168 @@
+"""Sampling specification: what a sampled simulation is keyed on.
+
+A :class:`SamplingSpec` is the complete, JSON-serializable description
+of one representative-interval sampling configuration. It rides inside
+the sweep engine's cell key (:func:`repro.harness.engine.cell_key`), so
+two sweeps that sample differently can never collide in the on-disk
+result cache, and a spec round-trips losslessly through JSON for the
+CLI and the validation recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ConfigurationError
+
+#: Version of the spec's JSON representation (part of cell cache keys).
+SPEC_SCHEMA_VERSION = 1
+
+#: Floor on the auto-sized measurement window, in accesses. Windows
+#: below this measure too little to be statistically meaningful even on
+#: tiny smoke traces.
+MIN_AUTO_WINDOW = 250
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """Configuration of representative-interval sampling.
+
+    Parameters
+    ----------
+    intervals:
+        Number of clusters k — at most this many representative
+        intervals are simulated (fewer when the trace has fewer
+        windows, or when k-means leaves clusters empty).
+    window_size:
+        Accesses per interval window. ``0`` (the default) auto-sizes
+        the window from the trace length so that simulating
+        ``intervals`` representatives (warm-up windows included) costs
+        at most ``1/target_reduction`` of a full run.
+    warm_windows:
+        Windows of real simulation run immediately before each measured
+        interval (on top of the synthesized warm state) to settle DRAM
+        row buffers, queues and policy recency state.
+    seed:
+        Seed of the deterministic k-means clustering. Fixed seed =>
+        bit-identical interval selection and recombined results.
+    target_reduction:
+        The trace-reduction factor the auto window sizing aims for.
+        Ignored when ``window_size`` is explicit.
+    """
+
+    intervals: int = 4
+    window_size: int = 0
+    warm_windows: int = 1
+    seed: int = 0
+    target_reduction: int = 12
+
+    def __post_init__(self) -> None:
+        if self.intervals < 1:
+            raise ConfigurationError(
+                f"sampling intervals must be >= 1, got {self.intervals}"
+            )
+        if self.window_size < 0:
+            raise ConfigurationError(
+                f"sampling window_size must be >= 0 (0 = auto), "
+                f"got {self.window_size}"
+            )
+        if self.warm_windows < 0:
+            raise ConfigurationError(
+                f"sampling warm_windows must be >= 0, got {self.warm_windows}"
+            )
+        if self.target_reduction < 2:
+            raise ConfigurationError(
+                f"sampling target_reduction must be >= 2, "
+                f"got {self.target_reduction}"
+            )
+
+    def effective_window(self, trace_accesses: int) -> int:
+        """The window size used for a trace of ``trace_accesses`` records.
+
+        Auto sizing solves ``intervals * (warm_windows + 1) * window <=
+        trace_accesses / target_reduction`` for the window, floored at
+        :data:`MIN_AUTO_WINDOW` so degenerate traces still get a usable
+        window.
+        """
+        if self.window_size > 0:
+            return self.window_size
+        budget = self.intervals * (self.warm_windows + 1) * self.target_reduction
+        return max(MIN_AUTO_WINDOW, trace_accesses // max(budget, 1))
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Canonical JSON form (embedded in sweep cell cache keys)."""
+        return {
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "intervals": self.intervals,
+            "window_size": self.window_size,
+            "warm_windows": self.warm_windows,
+            "seed": self.seed,
+            "target_reduction": self.target_reduction,
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: dict[str, Any]) -> "SamplingSpec":
+        """Rebuild a spec from :meth:`to_json_dict` output."""
+        version = doc.get("schema_version")
+        if version != SPEC_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"sampling spec has schema_version={version!r}, "
+                f"this build reads {SPEC_SCHEMA_VERSION}"
+            )
+        return cls(
+            intervals=int(doc["intervals"]),
+            window_size=int(doc["window_size"]),
+            warm_windows=int(doc["warm_windows"]),
+            seed=int(doc["seed"]),
+            target_reduction=int(doc["target_reduction"]),
+        )
+
+    @classmethod
+    def from_string(cls, text: str) -> "SamplingSpec":
+        """Parse a CLI spec string into a :class:`SamplingSpec`.
+
+        ``"default"`` (or the empty string) yields the default spec;
+        otherwise the string is comma-separated ``key=value`` pairs with
+        the keys ``k`` (intervals), ``window``, ``warm``, ``seed`` and
+        ``reduction``, e.g. ``"k=4,window=0,warm=1,seed=0"``.
+        """
+        text = text.strip()
+        if text in ("", "default"):
+            return cls()
+        values: dict[str, int] = {}
+        aliases = {
+            "k": "intervals",
+            "intervals": "intervals",
+            "window": "window_size",
+            "window_size": "window_size",
+            "warm": "warm_windows",
+            "warm_windows": "warm_windows",
+            "seed": "seed",
+            "reduction": "target_reduction",
+            "target_reduction": "target_reduction",
+        }
+        for part in text.split(","):
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in aliases:
+                raise ConfigurationError(
+                    f"bad sampling spec element {part!r}; expected "
+                    "comma-separated key=value pairs with keys "
+                    "k, window, warm, seed, reduction (or 'default')"
+                )
+            try:
+                values[aliases[key]] = int(raw.strip())
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad sampling spec value {part!r}: not an integer"
+                ) from exc
+        return cls(**values)
+
+    def describe(self) -> str:
+        """One-line human-readable form (CLI output)."""
+        window = self.window_size if self.window_size else "auto"
+        return (
+            f"k={self.intervals} window={window} warm={self.warm_windows} "
+            f"seed={self.seed} target_reduction={self.target_reduction}x"
+        )

@@ -239,6 +239,52 @@ class TestLint:
         assert "error-severity findings" in out
 
 
+class TestSample:
+    def test_plan_inspection(self, capsys):
+        rc = main(["sample", "gap.cc.10", "--window", "5000", "--verbose"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "representative" in out
+        assert "interval" in out
+        assert "reduction" in out
+
+    def test_plan_json_written(self, capsys, tmp_path):
+        target = tmp_path / "plan.json"
+        rc = main(["sample", "gap.cc.10", "--window", "5000",
+                   "--json", str(target)])
+        assert rc == 0
+        import json
+
+        doc = json.loads(target.read_text())
+        assert doc["spec"]["intervals"] == 4
+        assert doc["intervals"]
+
+    def test_custom_spec_string(self, capsys):
+        rc = main(["sample", "gap.cc.10", "--window", "5000",
+                   "--spec", "k=2,window=500,warm=0"])
+        assert rc == 0
+        assert "of 500 accesses" in capsys.readouterr().out
+
+    def test_bad_spec_fails_cleanly(self, capsys):
+        rc = main(["sample", "gap.cc.10", "--spec", "clusters=4"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_workload_without_validate_fails(self, capsys):
+        rc = main(["sample"])
+        assert rc == 1
+        assert "at least one workload" in capsys.readouterr().err
+
+    def test_sweep_with_sampling_flag(self, capsys):
+        rc = main([
+            "sweep", "gap.cc.10", "--policies", "srrip",
+            "--window", "5000", "--jobs", "1", "--no-cache",
+            "--sampling", "k=2,window=500,warm=0",
+        ])
+        assert rc == 0
+        assert "Speed-up over LRU" in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_table1(self, capsys):
         rc = main(["experiment", "table1"])

@@ -105,8 +105,9 @@ class TestLiveTree:
         ctx, _ = build_context([package_root()])
         report = salt_closure_report(ctx)
         assert report is not None
-        assert len(report.entries) == 4
+        assert len(report.entries) == 5
         assert "repro.mem.batch" in report.entries
+        assert "repro.sampling.executor" in report.entries
         assert report.uncovered == []
 
     def test_static_closure_agrees_with_simulator_salt(self):

@@ -1,0 +1,148 @@
+"""Edge cases of windowed phase analysis and its sampling features.
+
+The sampling layer builds its BBV-like vectors on top of
+``repro.analysis.phases.profile_windows``, so the degenerate shapes a
+real trace can take — shorter than one window, a ragged final window,
+every access from one PC — must profile sanely, and the PC bucketing
+must hash identically in every process (a parallel sweep's workers
+would otherwise select different intervals than a serial run).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import make_trace
+from repro.analysis.phases import detect_phases, profile_windows
+from repro.errors import TraceError
+from repro.sampling import pc_bucket_histogram, window_features
+from repro.trace import synthetic
+
+REPO_SRC = Path(__file__).parent.parent / "src"
+
+
+class TestShortTraces:
+    def test_trace_shorter_than_one_window(self):
+        t = make_trace([i * 64 for i in range(10)])
+        profiles = profile_windows(t, window_size=100)
+        assert len(profiles) == 1
+        assert profiles[0].start == 0
+        assert profiles[0].footprint_blocks == 10
+        assert profiles[0].new_block_fraction == 1.0
+
+    def test_short_trace_still_yields_a_plan_window(self):
+        t = make_trace([i * 64 for i in range(10)])
+        vectors, spans = window_features(t, window_size=100)
+        assert vectors.shape[0] == 1
+        assert spans == [(0, 10)]
+
+    def test_short_trace_with_warmup_keeps_all_windows(self):
+        # Every window starts inside the warm-up region; the feature
+        # builder must fall back to all windows, not return nothing.
+        t = make_trace([i * 64 for i in range(10)])
+        vectors, spans = window_features(t, window_size=100, first_start=5)
+        assert vectors.shape[0] == 1
+
+    def test_detect_phases_needs_three_windows(self):
+        t = make_trace([i * 64 for i in range(50)])
+        report = detect_phases(t, window_size=25)
+        assert len(report.windows) == 2
+        assert report.changes == ()
+        assert report.num_phases == 1
+
+
+class TestRaggedWindows:
+    def test_window_not_dividing_trace(self):
+        t = make_trace([i * 64 for i in range(25)])
+        profiles = profile_windows(t, window_size=10)
+        assert len(profiles) == 3
+        assert [p.start for p in profiles] == [0, 10, 20]
+        # Final ragged window covers 5 accesses, all cold blocks.
+        assert profiles[-1].footprint_blocks == 5
+
+    def test_ragged_window_fractions_use_actual_length(self):
+        from repro.trace.record import AccessKind
+
+        # 12 loads then 3 stores: the ragged final window is all-store.
+        kinds = [int(AccessKind.LOAD)] * 12 + [int(AccessKind.STORE)] * 3
+        t = make_trace([i * 64 for i in range(15)], kinds=kinds)
+        profiles = profile_windows(t, window_size=12)
+        assert profiles[0].store_fraction == 0.0
+        assert profiles[1].store_fraction == 1.0
+
+    def test_ragged_window_span_clamped(self):
+        t = make_trace([i * 64 for i in range(25)])
+        _, spans = window_features(t, window_size=10)
+        assert spans[-1] == (20, 25)
+
+    def test_window_size_must_be_positive(self):
+        t = make_trace([0, 64])
+        with pytest.raises(TraceError, match="window_size"):
+            profile_windows(t, window_size=0)
+
+
+class TestSinglePCWindows:
+    def test_single_pc_trace_profiles(self):
+        t = make_trace([i * 64 for i in range(40)], pcs=0x400123)
+        profiles = profile_windows(t, window_size=10)
+        assert all(p.num_pcs == 1 for p in profiles)
+
+    def test_single_pc_histogram_is_one_hot(self):
+        pcs = np.full(100, 0x400123, dtype=np.uint64)
+        hist = pc_bucket_histogram(pcs)
+        assert hist.sum() == pytest.approx(1.0)
+        assert np.count_nonzero(hist) == 1
+
+    def test_empty_pc_array_yields_zero_histogram(self):
+        hist = pc_bucket_histogram(np.empty(0, dtype=np.uint64))
+        assert hist.shape == (16,)
+        assert hist.sum() == 0.0
+
+    def test_single_pc_windows_cluster_together(self):
+        # Identical one-PC windows produce identical feature vectors.
+        t = make_trace([(i % 8) * 64 for i in range(60)], pcs=0x400123)
+        vectors, _ = window_features(t, window_size=10)
+        tail = vectors[1:]  # window 0 differs (cold new-block fraction)
+        assert np.allclose(tail, tail[0])
+
+
+class TestCrossProcessDeterminism:
+    def test_histogram_identical_in_fresh_interpreter(self):
+        """PC bucketing must not depend on per-process hash salting.
+
+        Runs the same histogram in a subprocess with hash randomization
+        forced to a different salt; a builtin-``hash``-based bucketing
+        would disagree, the fixed multiplicative hash cannot.
+        """
+        pcs = (np.arange(500, dtype=np.uint64) * 4096) + 0x400000
+        local = pc_bucket_histogram(pcs)
+        script = (
+            "import json\n"
+            "import numpy as np\n"
+            "from repro.sampling import pc_bucket_histogram\n"
+            "pcs = (np.arange(500, dtype=np.uint64) * 4096) + 0x400000\n"
+            "print(json.dumps(pc_bucket_histogram(pcs).tolist()))\n"
+        )
+        env = dict(os.environ)
+        env.update({"PYTHONPATH": str(REPO_SRC), "PYTHONHASHSEED": "12345"})
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        remote = np.array(json.loads(out.stdout))
+        assert np.array_equal(local, remote)
+
+    def test_window_hashes_stable_across_runs(self):
+        t = synthetic.zipf_reuse(2_000, num_blocks=200, seed=5)
+        a, spans_a = window_features(t, window_size=250)
+        b, spans_b = window_features(t, window_size=250)
+        assert np.array_equal(a, b)
+        assert spans_a == spans_b

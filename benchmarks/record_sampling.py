@@ -108,6 +108,7 @@ def measure(suites: tuple[str, ...]) -> dict:
         "scale": _scale(),
         "spec": report.spec.to_json_dict(),
         "policies": list(report.policies),
+        "synthesis": report.to_json_dict()["synthesis"],
         "suite_names": sorted(report.suites),
         "suites": {
             suite: summary.to_json_dict()

@@ -510,7 +510,8 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--sampling", metavar="SPEC", default=None,
                          help="run cells under representative-interval "
                               "sampling; SPEC is 'default' or "
-                              "'k=4,window=0,warm=1,seed=0' "
+                              "'k=4,window=0,warm=1,seed=0,"
+                              "synthesis=checkpoint' "
                               "(see docs/sampling.md)")
     _add_retry_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
@@ -540,7 +541,9 @@ def main(argv: list[str] | None = None) -> int:
                                "spec17.<name> (plan inspection mode)")
     p_sample.add_argument("--spec", default="default",
                           help="sampling spec: 'default' or "
-                               "'k=4,window=0,warm=1,seed=0,reduction=12'")
+                               "'k=4,window=0,warm=1,seed=0,reduction=12,"
+                               "synthesis=recency|replay|checkpoint,"
+                               "replay=4'")
     p_sample.add_argument("--window", type=int, default=200_000,
                           help="traced accesses (default 200k)")
     p_sample.add_argument("--validate", action="store_true",

@@ -42,6 +42,7 @@ from .output import (
 from .rules import Rule, available_rules, make_rule, register_rule
 from .saltclosure import SaltClosureReport, salt_closure_report
 from .sanitize import InvariantSanitizer, SanitizerError, attach_sanitizers
+from .warmstate import WarmStateReport, warm_state_report
 
 __all__ = [
     "DEFAULT_BASELINE_NAME",
@@ -54,6 +55,7 @@ __all__ = [
     "SaltClosureReport",
     "SanitizerError",
     "Severity",
+    "WarmStateReport",
     "apply_baseline",
     "attach_sanitizers",
     "available_rules",
@@ -68,4 +70,5 @@ __all__ = [
     "render_text",
     "salt_closure_report",
     "summarize",
+    "warm_state_report",
 ]

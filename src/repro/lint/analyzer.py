@@ -28,6 +28,7 @@ from . import determinism as _determinism  # noqa: F401
 from . import fastpath_audit as _fastpath_audit  # noqa: F401
 from . import saltclosure as _saltclosure  # noqa: F401
 from . import snapshot as _snapshot  # noqa: F401
+from . import warmstate as _warmstate  # noqa: F401
 
 #: Directories never linted (caches, build output).
 _SKIP_DIRS = {"__pycache__", ".git", "build", "dist"}

@@ -112,5 +112,42 @@ class ReplacementPolicy(abc.ABC):
         """
         return {}
 
+    # -- warm-state protocol (representative-interval sampling) ---------------
+    #
+    # Sampled simulation (:mod:`repro.sampling`) skips most of the trace,
+    # so a policy's *global* predictor tables (SHCT, OPTgen samplers,
+    # perceptron weights, duel counters) would otherwise be missing the
+    # training history of the skipped regions. Policies that carry such
+    # tables implement this pair; per-line metadata needs no hook — the
+    # executor rebuilds it through the normal fill path. Policies whose
+    # only global state is a relabeling-invariant recency clock are
+    # listed in :data:`repro.policies.registry.WARM_STATE_EXCLUDED`
+    # instead (the ``warm-state-protocol`` lint rule enforces that every
+    # registered policy does one or the other).
+
+    def checkpoint_tables(self) -> dict[str, object] | None:
+        """Deep snapshot of the policy's global predictor tables.
+
+        Returns a dict fully owned by the caller (no live aliases into
+        policy state), or ``None`` when the policy does not implement
+        the warm-state protocol. An empty dict means "implements the
+        protocol, no global tables" (e.g. SRRIP, whose only state is
+        per-line RRPVs).
+        """
+        return None
+
+    def restore_tables(self, tables: dict[str, object]) -> None:
+        """Restore global tables from :meth:`checkpoint_tables` output.
+
+        Restores by copying values in (never by aliasing the checkpoint
+        dict), so a checkpoint can be restored repeatedly. Monotonic
+        clocks are restored with ``max(current, checkpointed)`` so time
+        never runs backwards for per-line stamps allocated earlier.
+        """
+        raise NotImplementedError(
+            f"policy {self.name!r} does not implement the warm-state "
+            "checkpoint protocol"
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(sets={self.num_sets}, ways={self.num_ways})"

@@ -147,6 +147,23 @@ class DIPPolicy(BIPPolicy):
             self.record_demand_miss(set_index)
         super().on_fill(set_index, way, access)
 
+    def checkpoint_tables(self) -> dict[str, object]:
+        # DIP implements the protocol directly (LIP/BIP stay excluded:
+        # their only global state is the relabeling-invariant stamp
+        # clock). The duel counter is the learned state worth carrying;
+        # clock and fill phase ride along for exactness.
+        return {
+            "psel": self._psel,
+            "fill_count": self._fill_count,
+            "clock": self._clock,
+        }
+
+    def restore_tables(self, tables: dict[str, object]) -> None:
+        self._psel = int(tables["psel"])  # type: ignore[arg-type]
+        self._fill_count = int(tables["fill_count"])  # type: ignore[arg-type]
+        # Never rewind: stamps handed out earlier must stay in the past.
+        self._clock = max(self._clock, int(tables["clock"]))  # type: ignore[arg-type]
+
     def snapshot_state(self) -> dict[str, object]:
         state = super().snapshot_state()  # clock/stamp staleness + fill count
         state["psel"] = self._psel

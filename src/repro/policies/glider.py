@@ -191,6 +191,38 @@ class GliderPolicy(ReplacementPolicy):
     def on_fill(self, set_index: int, way: int, access: PolicyAccess) -> None:
         self._touch(set_index, way, access, is_fill=True)
 
+    # -- warm-state protocol ------------------------------------------------------
+
+    def checkpoint_tables(self) -> dict[str, object]:
+        return {
+            "isvms": [list(weights) for weights in self._isvms],
+            "pchr": list(self._pchr),
+            "sampler": self._sampler.checkpoint(),
+            "friendly_fills": self.stat_friendly_fills,
+            "averse_fills": self.stat_averse_fills,
+        }
+
+    def restore_tables(self, tables: dict[str, object]) -> None:
+        isvms = tables["isvms"]
+        if len(isvms) != ISVM_TABLE_SIZE:  # type: ignore[arg-type]
+            raise ValueError(
+                f"ISVM checkpoint has {len(isvms)} tables, "  # type: ignore[arg-type]
+                f"expected {ISVM_TABLE_SIZE}"
+            )
+        for weights, recorded in zip(self._isvms, isvms):  # type: ignore[arg-type]
+            weights[:] = recorded
+        # Rebuild the PCHR and its incrementally-maintained slot caches
+        # from scratch so they agree by construction.
+        self._pchr = deque(tables["pchr"], maxlen=PCHR_LENGTH)  # type: ignore[arg-type]
+        counts = [0] * ISVM_WEIGHTS
+        for pc in self._pchr:
+            counts[weight_index(pc)] += 1
+        self._pchr_slot_counts = counts
+        self._pchr_slots = tuple(s for s in range(ISVM_WEIGHTS) if counts[s])
+        self._sampler.restore(tables["sampler"])  # type: ignore[arg-type]
+        self.stat_friendly_fills = int(tables["friendly_fills"])  # type: ignore[arg-type]
+        self.stat_averse_fills = int(tables["averse_fills"])  # type: ignore[arg-type]
+
     @property
     def optgen_hit_rate(self) -> float:
         """OPT hit rate reconstructed on the sampled sets."""

@@ -137,6 +137,28 @@ class HawkeyePolicy(ReplacementPolicy):
             self.stat_averse_fills += 1
             self._rrpv[set_index][way] = HAWKEYE_RRPV_MAX
 
+    # -- warm-state protocol ------------------------------------------------------
+
+    def checkpoint_tables(self) -> dict[str, object]:
+        return {
+            "counters": list(self._counters),
+            "sampler": self._sampler.checkpoint(),
+            "friendly_fills": self.stat_friendly_fills,
+            "averse_fills": self.stat_averse_fills,
+        }
+
+    def restore_tables(self, tables: dict[str, object]) -> None:
+        counters = tables["counters"]
+        if len(counters) != PREDICTOR_SIZE:  # type: ignore[arg-type]
+            raise ValueError(
+                f"predictor checkpoint has {len(counters)} entries, "  # type: ignore[arg-type]
+                f"expected {PREDICTOR_SIZE}"
+            )
+        self._counters[:] = counters  # type: ignore[assignment]
+        self._sampler.restore(tables["sampler"])  # type: ignore[arg-type]
+        self.stat_friendly_fills = int(tables["friendly_fills"])  # type: ignore[arg-type]
+        self.stat_averse_fills = int(tables["averse_fills"])  # type: ignore[arg-type]
+
     # -- introspection -----------------------------------------------------------
 
     @property

@@ -176,6 +176,34 @@ class MPPPBPolicy(ReplacementPolicy):
                 self._train(prior, dead=True)  # evicted untouched: dead
         self._line_features[set_index][way] = None
 
+    # -- warm-state protocol ------------------------------------------------------
+
+    def checkpoint_tables(self) -> dict[str, object]:
+        return {
+            "weights": [list(table) for table in self._weights],
+            "pc_history": list(self._pc_history),
+            "clock": self._clock,
+            "bypasses": self.stat_bypasses,
+            "fills": self.stat_fills,
+        }
+
+    def restore_tables(self, tables: dict[str, object]) -> None:
+        weights = tables["weights"]
+        if len(weights) != NUM_FEATURES:  # type: ignore[arg-type]
+            raise ValueError(
+                f"weight checkpoint has {len(weights)} tables, "  # type: ignore[arg-type]
+                f"expected {NUM_FEATURES}"
+            )
+        for table, recorded in zip(self._weights, weights):  # type: ignore[arg-type]
+            table[:] = recorded
+        self._pc_history = deque(
+            tables["pc_history"], maxlen=PC_HISTORY_LENGTH  # type: ignore[arg-type]
+        )
+        # Never rewind: stamps handed out earlier must stay in the past.
+        self._clock = max(self._clock, int(tables["clock"]))  # type: ignore[arg-type]
+        self.stat_bypasses = int(tables["bypasses"])  # type: ignore[arg-type]
+        self.stat_fills = int(tables["fills"])  # type: ignore[arg-type]
+
     @property
     def bypass_rate(self) -> float:
         """Fraction of fill attempts that were bypassed."""

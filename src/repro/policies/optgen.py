@@ -94,6 +94,28 @@ class OptGen:
         total = self.opt_hits + self.opt_misses
         return self.opt_hits / total if total else 0.0
 
+    def checkpoint(self) -> dict[str, Any]:
+        """Deep copy of the sliding window and verdict counters."""
+        return {
+            "liveness": list(self._liveness),
+            "num_accesses": self.num_accesses,
+            "opt_hits": self.opt_hits,
+            "opt_misses": self.opt_misses,
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Restore :meth:`checkpoint` output (copying, never aliasing)."""
+        liveness = state["liveness"]
+        if len(liveness) != self.vector_size:
+            raise ValueError(
+                f"OPTgen checkpoint has vector size {len(liveness)}, "
+                f"this instance uses {self.vector_size}"
+            )
+        self._liveness[:] = liveness
+        self.num_accesses = int(state["num_accesses"])
+        self.opt_hits = int(state["opt_hits"])
+        self.opt_misses = int(state["opt_misses"])
+
 
 @dataclass
 class SamplerEntry:
@@ -198,6 +220,49 @@ class SetSampler:
             block=block, quantum=quantum, pc=pc, context=context, lru=sampled.lru_clock
         )
         return False, None, evicted
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Deep snapshot of every sampled set (OPTgen + sampler cache).
+
+        Entries are recorded as ordered lists so :meth:`restore` rebuilds
+        each sampler-cache dict with identical iteration order — LRU
+        eviction ties (impossible while ``lru`` values stay unique, but
+        cheap to keep exact) and repr stability then match the original.
+        ``context`` values are shared, not copied: policies store
+        immutable tuples there.
+        """
+        return {
+            "sets": {
+                set_index: {
+                    "optgen": sampled.optgen.checkpoint(),
+                    "lru_clock": sampled.lru_clock,
+                    "entries": [
+                        (entry.block, entry.quantum, entry.pc, entry.context, entry.lru)
+                        for entry in sampled.entries.values()
+                    ],
+                }
+                for set_index, sampled in self._sampled.items()
+            }
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Restore :meth:`checkpoint` output into this sampler."""
+        sets = state["sets"]
+        if set(sets) != set(self._sampled):
+            raise ValueError(
+                "sampler checkpoint covers different sampled sets than "
+                "this instance (geometry mismatch)"
+            )
+        for set_index, recorded in sets.items():
+            sampled = self._sampled[set_index]
+            sampled.optgen.restore(recorded["optgen"])
+            sampled.lru_clock = int(recorded["lru_clock"])
+            sampled.entries = {
+                block: SamplerEntry(
+                    block=block, quantum=quantum, pc=pc, context=context, lru=lru
+                )
+                for block, quantum, pc, context, lru in recorded["entries"]
+            }
 
     def aggregate_opt_hit_rate(self) -> float:
         """OPTgen hit rate pooled over all sampled sets."""

@@ -51,6 +51,24 @@ PAPER_POLICIES = ("srrip", "drrip", "ship", "hawkeye", "glider", "mpppb")
 #: The paper's baseline.
 BASELINE_POLICY = "lru"
 
+#: Policy classes deliberately outside the warm-state checkpoint
+#: protocol (``checkpoint_tables``/``restore_tables``): their only
+#: cross-line state is a relabeling-invariant recency clock (or, for
+#: Random, a seeded RNG stream), which the sampling executor's recency
+#: synthesis rebuilds through the fill path. Every registered policy
+#: class must either implement the protocol or appear here — enforced
+#: statically by the ``warm-state-protocol`` lint rule.
+WARM_STATE_EXCLUDED = (
+    "BIPPolicy",
+    "FIFOPolicy",
+    "LIPPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "NRUPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+)
+
 
 for _name, _factory in [
     ("lru", LRUPolicy),

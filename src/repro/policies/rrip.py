@@ -59,6 +59,15 @@ class SRRIPPolicy(ReplacementPolicy):
     def _insertion_rrpv(self, set_index: int, access: PolicyAccess) -> int:
         return RRPV_MAX - 1
 
+    def checkpoint_tables(self) -> dict[str, object]:
+        # SRRIP's only state is per-line RRPVs, which the sampling
+        # executor rebuilds through the fill path: protocol implemented,
+        # nothing global to carry.
+        return {}
+
+    def restore_tables(self, tables: dict[str, object]) -> None:
+        pass
+
     def snapshot_state(self) -> dict[str, object]:
         hist = [0] * (RRPV_MAX + 1)
         for row in self._rrpv:
@@ -90,6 +99,15 @@ class BRRIPPolicy(SRRIPPolicy):
         if self._fill_count % BRRIP_LONG_PERIOD == 0:
             return RRPV_MAX - 1
         return RRPV_MAX
+
+    def checkpoint_tables(self) -> dict[str, object]:
+        tables = super().checkpoint_tables()
+        tables["fill_count"] = self._fill_count
+        return tables
+
+    def restore_tables(self, tables: dict[str, object]) -> None:
+        super().restore_tables(tables)
+        self._fill_count = int(tables["fill_count"])  # type: ignore[arg-type]
 
     def snapshot_state(self) -> dict[str, object]:
         state = super().snapshot_state()
@@ -172,6 +190,17 @@ class DRRIPPolicy(SRRIPPolicy):
         if not access.is_writeback and not access.is_prefetch:
             self.record_demand_miss(set_index)
         super().on_fill(set_index, way, access)
+
+    def checkpoint_tables(self) -> dict[str, object]:
+        tables = super().checkpoint_tables()
+        tables["psel"] = self._psel
+        tables["fill_count"] = self._fill_count
+        return tables
+
+    def restore_tables(self, tables: dict[str, object]) -> None:
+        super().restore_tables(tables)
+        self._psel = int(tables["psel"])  # type: ignore[arg-type]
+        self._fill_count = int(tables["fill_count"])  # type: ignore[arg-type]
 
     def snapshot_state(self) -> dict[str, object]:
         state = super().snapshot_state()

@@ -88,6 +88,17 @@ class SHiPPolicy(ReplacementPolicy):
         else:
             self._rrpv[set_index][way] = RRPV_MAX - 1
 
+    def checkpoint_tables(self) -> dict[str, object]:
+        return {"shct": list(self._shct)}
+
+    def restore_tables(self, tables: dict[str, object]) -> None:
+        shct = tables["shct"]
+        if len(shct) != SHCT_SIZE:  # type: ignore[arg-type]
+            raise ValueError(
+                f"SHCT checkpoint has {len(shct)} entries, expected {SHCT_SIZE}"  # type: ignore[arg-type]
+            )
+        self._shct[:] = shct  # type: ignore[assignment]
+
     def snapshot_state(self) -> dict[str, object]:
         shct_hist = [0] * (SHCT_MAX + 1)
         for counter in self._shct:

@@ -14,13 +14,21 @@ sampled-vs-full error per suite and the committed budget in
 ``BENCH_sampling.json`` is gated in CI (see docs/sampling.md).
 """
 
-from .executor import recombine, simulate_sampled, synthesize_warm_state
+from .executor import (
+    clear_checkpoint_store,
+    compute_boundary_checkpoints,
+    recombine,
+    simulate_sampled,
+    synthesize_from_checkpoint,
+    synthesize_warm_state,
+)
 from .features import pc_bucket_histogram, window_features
 from .kmeans import KMeansResult, kmeans
 from .plan import Interval, SamplingPlan, build_plan
-from .spec import SamplingSpec
+from .spec import SYNTHESIS_STRATEGIES, SamplingSpec
 from .validate import (
     DEFAULT_SUITES,
+    PREFERRED_SYNTHESIS,
     VALIDATED_POLICIES,
     ValidationCell,
     ValidationReport,
@@ -29,6 +37,8 @@ from .validate import (
 
 __all__ = [
     "DEFAULT_SUITES",
+    "PREFERRED_SYNTHESIS",
+    "SYNTHESIS_STRATEGIES",
     "VALIDATED_POLICIES",
     "Interval",
     "KMeansResult",
@@ -37,11 +47,14 @@ __all__ = [
     "ValidationCell",
     "ValidationReport",
     "build_plan",
+    "clear_checkpoint_store",
+    "compute_boundary_checkpoints",
     "kmeans",
     "pc_bucket_histogram",
     "recombine",
     "run_validation",
     "simulate_sampled",
+    "synthesize_from_checkpoint",
     "synthesize_warm_state",
     "window_features",
 ]

@@ -9,7 +9,25 @@ The executor runs each representative interval of a
    to each level's capacity, injected oldest-first through the normal
    fill path). Without this, every interval starts from cold caches and
    the sampled MPKI overshoots the full run by an order of magnitude at
-   smoke scale.
+   smoke scale. The spec's ``warm_synthesis`` strategy decides how
+   policy *predictor* state is rebuilt on top of the content:
+
+   * ``"recency"`` — content only; global tables start cold.
+   * ``"replay"`` — after the content rebuild, a bounded suffix of the
+     skipped region (``spec.replay_windows`` windows) streams through
+     the real access path with DRAM timing stubbed out, driving each
+     policy's training hooks without timing simulation.
+   * ``"checkpoint"`` — a single functional pass over the trace prefix
+     captures, at every interval boundary, the policy's global tables
+     (:meth:`~repro.policies.base.ReplacementPolicy.checkpoint_tables`)
+     *and* each level's resident block set. Warm state is then rebuilt
+     by filling exactly those blocks (in last-touch order) with the
+     restored tables — the content a full run would actually hold, not
+     a recency approximation. Checkpoints are stored once per
+     ``(trace, config, policy, boundaries)`` and reused across runs of
+     the same sweep. Because policy hooks never see cycle counts, the
+     functional pass reproduces a timed full run's tables and content
+     bit-exactly.
 2. **Simulated warm-up** — ``spec.warm_windows`` windows of real
    simulation settle DRAM row buffers/bank queues, MSHR-equivalent
    timing state and policy recency before measurement, then
@@ -28,13 +46,16 @@ deliberately carries across intervals in trace order; per-line metadata
 is rebuilt by the synthesis fills.
 
 Known limitation, documented in docs/sampling.md: recency-based
-synthesis reconstructs LRU-like content, so thrash-*resistant* policies
-whose steady-state content diverges from recency order (SHiP, Hawkeye
-on streaming workloads) see larger errors than recency-family policies;
-the committed error budget is validated for the latter.
+synthesis reconstructs LRU-like *content*, so policies whose
+steady-state content diverges from recency order see residual content
+error even when their predictor tables are synthesized exactly; the
+committed error budget is validated per (policy, strategy) pair in
+:mod:`repro.sampling.validate`.
 """
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 
@@ -51,10 +72,56 @@ from ..errors import ConfigurationError, SimulationError
 from ..mem.fastpath import FastMachine, fastpath_eligible
 from ..mem.hierarchy import CacheHierarchy, ServiceLevel
 from ..policies.base import ReplacementPolicy
+from ..policies.registry import WARM_STATE_EXCLUDED, make_policy
 from ..trace.record import AccessKind
 from ..trace.trace import Trace
 from .plan import SamplingPlan, build_plan
 from .spec import SamplingSpec
+
+
+def _prefix_last_touch(
+    trace: Trace, boundary: int, block_bits: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Each distinct block's last access in ``[0, boundary)``.
+
+    Returns ``(blocks, pcs, kinds)`` sorted oldest-last-touch first, so
+    filling them in order reproduces the prefix's recency order.
+    """
+    blocks = trace.block_addrs(block_bits)[:boundary]
+    kinds = trace.kinds[:boundary]
+    pcs = trace.pcs[:boundary]
+    # np.unique(reversed prefix) gives each block's *first* index in the
+    # reversed view = its *last* access in the prefix.
+    uniq, first_rev = np.unique(blocks[::-1], return_index=True)
+    last_index = boundary - 1 - first_rev
+    order = np.argsort(last_index, kind="stable")  # oldest last-touch first
+    ordered_last = last_index[order]
+    return uniq[order], pcs[ordered_last], kinds[ordered_last]
+
+
+def _fill_blocks(
+    cache, blocks: np.ndarray, pcs: np.ndarray, kinds: np.ndarray
+) -> int:
+    """Inject blocks through the normal fill path, training suppressed.
+
+    Policy eviction training is disabled for the duration: set-conflict
+    evictions during a content rebuild are artifacts of the rebuild, not
+    observed program behaviour.
+    """
+    fill = cache.fill
+    policy = cache.policy
+    saved_on_eviction = policy.on_eviction
+    policy.on_eviction = (  # type: ignore[method-assign]
+        lambda set_index, way, victim_block: None
+    )
+    fills = 0
+    try:
+        for block, pc, kind in zip(blocks.tolist(), pcs.tolist(), kinds.tolist()):
+            fill(block, pc, int(kind))
+            fills += 1
+    finally:
+        policy.on_eviction = saved_on_eviction  # type: ignore[method-assign]
+    return fills
 
 
 def synthesize_warm_state(
@@ -77,19 +144,9 @@ def synthesize_warm_state(
         for cache in hierarchy.caches.values():
             cache.reset_content()
         return 0
-    block_bits = hierarchy.block_bits
-    blocks = trace.block_addrs(block_bits)[:boundary]
-    kinds = trace.kinds[:boundary]
-    pcs = trace.pcs[:boundary]
-    # np.unique(reversed prefix) gives each block's *first* index in the
-    # reversed view = its *last* access in the prefix.
-    uniq, first_rev = np.unique(blocks[::-1], return_index=True)
-    last_index = boundary - 1 - first_rev
-    order = np.argsort(last_index, kind="stable")  # oldest last-touch first
-    ordered_blocks = uniq[order]
-    ordered_last = last_index[order]
-    ordered_kinds = kinds[ordered_last]
-    ordered_pcs = pcs[ordered_last]
+    ordered_blocks, ordered_pcs, ordered_kinds = _prefix_last_touch(
+        trace, boundary, hierarchy.block_bits
+    )
     instruction = ordered_kinds == AccessKind.IFETCH
     fills = 0
     for cache, mask in (
@@ -112,20 +169,159 @@ def synthesize_warm_state(
             level_pcs = level_pcs[-capacity:]
             level_kinds = level_kinds[-capacity:]
         cache.reset_content()
-        fill = cache.fill
-        policy = cache.policy
-        saved_on_eviction = policy.on_eviction
-        policy.on_eviction = (  # type: ignore[method-assign]
-            lambda set_index, way, victim_block: None
+        fills += _fill_blocks(cache, level_blocks, level_pcs, level_kinds)
+    return fills
+
+
+class _SilentDRAM:
+    """Timing-free DRAM stand-in for functional (untimed) passes.
+
+    Swapped in for ``hierarchy.dram`` while a training-only pass streams
+    accesses with ``cycle=0``: the real DRAM model would record those
+    zero-cycle requests in its bank ``next_free`` clocks and poison the
+    timing of every later *timed* segment. Reads complete instantly,
+    writes vanish; neither touches statistics.
+    """
+
+    def read(self, addr: int, cycle: int) -> int:
+        return 0
+
+    def write(self, addr: int, cycle: int) -> None:
+        return None
+
+
+def _functional_replay(
+    hierarchy: CacheHierarchy, trace: Trace, start: int, stop: int
+) -> int:
+    """Stream ``[start, stop)`` through the hierarchy without timing.
+
+    The real access path runs — hits, misses, fills, evictions, every
+    policy training hook — but no core model advances and DRAM timing is
+    stubbed out (see :class:`_SilentDRAM`), so the pass costs a policy
+    pass and nothing else. Policy hooks never observe cycle counts, so
+    the global tables this pass trains are bit-identical to the ones a
+    timed run over the same records would produce. Statistics polluted
+    by the pass are discarded by the caller's ``_reset_statistics``.
+    Returns the number of records replayed.
+    """
+    if start >= stop:
+        return 0
+    addrs = trace.addrs[start:stop].tolist()
+    pcs = trace.pcs[start:stop].tolist()
+    kinds = trace.kinds[start:stop].tolist()
+    saved_dram = hierarchy.dram
+    hierarchy.dram = _SilentDRAM()  # type: ignore[assignment]
+    try:
+        access = hierarchy.access
+        for addr, pc, kind in zip(addrs, pcs, kinds):
+            access(addr, pc, kind, 0)
+    finally:
+        hierarchy.dram = saved_dram
+    return stop - start
+
+
+#: In-process cache of interval-boundary predictor-table checkpoints,
+#: keyed by (trace digest, machine config, policy name, boundaries).
+#: Populated on the first sampled run of a (trace, policy) cell with the
+#: checkpoint strategy and reused by every later run of the same sweep —
+#: the functional pass over the trace prefix is paid once, not per run.
+_CHECKPOINT_STORE: dict[tuple, dict[int, dict[str, object]]] = {}
+
+
+def clear_checkpoint_store() -> None:
+    """Drop all cached table checkpoints (tests and memory pressure)."""
+    _CHECKPOINT_STORE.clear()
+
+
+def _checkpoint_key(
+    trace: Trace, config: MachineConfig, policy_name: str, boundaries: tuple[int, ...]
+) -> tuple:
+    return (
+        trace.digest(),
+        json.dumps(config.to_json_dict(), sort_keys=True),
+        policy_name,
+        boundaries,
+    )
+
+
+def compute_boundary_checkpoints(
+    trace: Trace,
+    config: MachineConfig,
+    policy_name: str,
+    boundaries: tuple[int, ...],
+) -> dict[int, dict[str, object]]:
+    """Capture warm-state checkpoints at each trace boundary.
+
+    One functional pass (no timing, see :func:`_functional_replay`) over
+    ``[0, max(boundaries))`` on a fresh hierarchy, pausing at every
+    boundary to capture the LLC policy's global tables
+    (:meth:`~repro.policies.base.ReplacementPolicy.checkpoint_tables`)
+    and the resident block set of every level. The policy is constructed
+    from the registry by name so the pass can never alias the measuring
+    hierarchy's policy instance.
+    """
+    hierarchy = build_hierarchy(config, make_policy(policy_name))
+    policy = hierarchy.llc.policy
+    if policy.checkpoint_tables() is None:
+        raise ConfigurationError(
+            f"policy {policy_name!r} does not implement the warm-state "
+            'checkpoint protocol; use warm_synthesis="recency" or "replay"'
         )
-        try:
-            for block, pc, kind in zip(
-                level_blocks.tolist(), level_pcs.tolist(), level_kinds.tolist()
-            ):
-                fill(block, pc, int(kind))
-                fills += 1
-        finally:
-            policy.on_eviction = saved_on_eviction  # type: ignore[method-assign]
+    checkpoints: dict[int, dict[str, object]] = {}
+    position = 0
+    for boundary in sorted(set(boundaries)):
+        _functional_replay(hierarchy, trace, position, boundary)
+        position = max(position, boundary)
+        tables = policy.checkpoint_tables()
+        assert tables is not None
+        checkpoints[boundary] = {
+            "tables": tables,
+            "resident": {
+                name: np.sort(
+                    np.asarray(cache.resident_blocks(), dtype=np.uint64)
+                )
+                for name, cache in hierarchy.caches.items()
+            },
+        }
+    return checkpoints
+
+
+def synthesize_from_checkpoint(
+    hierarchy: CacheHierarchy,
+    trace: Trace,
+    boundary: int,
+    checkpoint: dict[str, object],
+) -> int:
+    """Rebuild warm state from a boundary checkpoint.
+
+    Restores the policy's global tables, then fills each level with
+    exactly the blocks the checkpointing pass held resident at
+    ``boundary`` (in last-touch order, so recency-managed levels come
+    back in the right order), and restores the tables once more to erase
+    the training noise those fills injected. Content and tables then
+    match a full run's state at ``boundary`` bit-for-bit; only per-line
+    predictor metadata is approximated, via the fill path with the
+    trained tables in place. Returns the number of fills performed.
+    """
+    policy = hierarchy.llc.policy
+    tables = checkpoint["tables"]
+    policy.restore_tables(tables)  # type: ignore[arg-type]
+    resident: dict[str, np.ndarray] = checkpoint["resident"]  # type: ignore[assignment]
+    if boundary <= 0:
+        for cache in hierarchy.caches.values():
+            cache.reset_content()
+        return 0
+    ordered_blocks, ordered_pcs, ordered_kinds = _prefix_last_touch(
+        trace, boundary, hierarchy.block_bits
+    )
+    fills = 0
+    for name, cache in hierarchy.caches.items():
+        mask = np.isin(ordered_blocks, resident[name], assume_unique=True)
+        cache.reset_content()
+        fills += _fill_blocks(
+            cache, ordered_blocks[mask], ordered_pcs[mask], ordered_kinds[mask]
+        )
+    policy.restore_tables(tables)  # type: ignore[arg-type]
     return fills
 
 
@@ -245,12 +441,48 @@ def simulate_sampled(
     policy_name = hierarchy.llc.policy.name
     use_fast = engine == "fast" and fastpath_eligible(hierarchy, trace)
 
+    strategy = sampling.warm_synthesis
+    checkpoints: dict[int, dict[str, object]] | None = None
+    if strategy == "checkpoint" and hierarchy.llc.policy.checkpoint_tables() is None:
+        # The registry's WARM_STATE_EXCLUDED names the policies whose
+        # only cross-line state the recency synthesis already rebuilds,
+        # so a mixed sweep under "checkpoint" (e.g. the CLI's forced LRU
+        # baseline) degrades those cells rather than refusing the sweep.
+        if type(hierarchy.llc.policy).__name__ not in WARM_STATE_EXCLUDED:
+            raise ConfigurationError(
+                f"policy {policy_name!r} does not implement the warm-state "
+                'checkpoint protocol; use warm_synthesis="recency" or "replay"'
+            )
+        strategy = "recency"
+    if strategy == "checkpoint":
+        boundaries = tuple(i.warm_start for i in plan.intervals)
+        key = _checkpoint_key(trace, config, policy_name, boundaries)
+        checkpoints = _CHECKPOINT_STORE.get(key)
+        if checkpoints is None:
+            checkpoints = compute_boundary_checkpoints(
+                trace, config, policy_name, boundaries
+            )
+            _CHECKPOINT_STORE[key] = checkpoints
+
     measurements: list[tuple[SimulationResult, int]] = []
     synthesis_fills = 0
+    replay_accesses = 0
+    checkpoint_restores = 0
     for interval in plan.intervals:
-        synthesis_fills += synthesize_warm_state(
-            hierarchy, trace, interval.warm_start
-        )
+        if checkpoints is not None:
+            synthesis_fills += synthesize_from_checkpoint(
+                hierarchy, trace, interval.warm_start,
+                checkpoints[interval.warm_start],
+            )
+            checkpoint_restores += 1
+        else:
+            synthesis_fills += synthesize_warm_state(
+                hierarchy, trace, interval.replay_start
+            )
+            if strategy == "replay":
+                replay_accesses += _functional_replay(
+                    hierarchy, trace, interval.replay_start, interval.warm_start
+                )
         warm_core = CoreModel(config.core)
         if interval.warm_start < interval.start:
             if use_fast:
@@ -283,8 +515,11 @@ def simulate_sampled(
 
     info = {
         "sampling": sampling.to_json_dict(),
+        "sampling_synthesis_effective": strategy,
         "sampling_plan": plan.to_json_dict(),
         "sampling_synthesis_fills": synthesis_fills,
+        "sampling_replay_accesses": replay_accesses,
+        "sampling_checkpoint_restores": checkpoint_restores,
         "warmup_accesses": int(len(trace) * warmup_fraction),
         "measured_accesses": sum(i.measured_accesses for i in plan.intervals),
         **trace.info,

@@ -41,6 +41,14 @@ class Interval:
     weight: int
     #: Cluster index the interval represents.
     cluster: int
+    #: First record of the training-only functional replay preceding the
+    #: timed warm-up (equals ``warm_start`` unless the plan's spec uses
+    #: the ``"replay"`` synthesis strategy).
+    replay_start: int = -1
+
+    def __post_init__(self) -> None:
+        if self.replay_start < 0:
+            object.__setattr__(self, "replay_start", self.warm_start)
 
     @property
     def measured_accesses(self) -> int:
@@ -48,8 +56,13 @@ class Interval:
 
     @property
     def simulated_accesses(self) -> int:
-        """Warm-up plus measured records actually simulated."""
+        """Warm-up plus measured records actually simulated (timed)."""
         return self.stop - self.warm_start
+
+    @property
+    def functional_accesses(self) -> int:
+        """Records replayed functionally (training only, untimed)."""
+        return self.warm_start - self.replay_start
 
 
 @dataclass(frozen=True)
@@ -74,8 +87,18 @@ class SamplingPlan:
         return sum(interval.simulated_accesses for interval in self.intervals)
 
     @property
+    def functional_accesses(self) -> int:
+        """Trace records functionally replayed (training only, untimed)."""
+        return sum(interval.functional_accesses for interval in self.intervals)
+
+    @property
     def reduction(self) -> float:
-        """Trace-reduction factor: full length over simulated records."""
+        """Trace-reduction factor: full length over *timed* records.
+
+        Functional replay accesses are reported separately (they cost a
+        policy-hook pass but no timing simulation) — see
+        :attr:`functional_accesses` and the plan's JSON form.
+        """
         if not self.simulated_accesses:
             return 0.0
         return self.trace_accesses / self.simulated_accesses
@@ -88,6 +111,7 @@ class SamplingPlan:
             "num_windows": self.num_windows,
             "trace_accesses": self.trace_accesses,
             "simulated_accesses": self.simulated_accesses,
+            "functional_accesses": self.functional_accesses,
             "reduction": round(self.reduction, 3),
             "intervals": [
                 {
@@ -95,6 +119,7 @@ class SamplingPlan:
                     "start": i.start,
                     "stop": i.stop,
                     "warm_start": i.warm_start,
+                    "replay_start": i.replay_start,
                     "weight": i.weight,
                     "cluster": i.cluster,
                 }
@@ -131,6 +156,12 @@ def build_plan(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
         )
     window = spec.effective_window(len(trace))
+    if len(trace) < window:
+        raise ConfigurationError(
+            f"trace {trace.name!r} is too short to sample: {len(trace)} "
+            f"accesses is less than one {window}-access window; run it "
+            "unsampled or pass a smaller explicit window_size"
+        )
     warmup_end = int(len(trace) * warmup_fraction)
     vectors, spans = window_features(trace, window, first_start=warmup_end)
     clustering = kmeans(vectors, spec.intervals, spec.seed)
@@ -139,22 +170,34 @@ def build_plan(
         members = np.nonzero(clustering.assignments == cluster)[0]
         if not len(members):
             continue
-        # argmin on the member-restricted distances returns the first
-        # (lowest-index) minimum, so ties break deterministically.
-        representative = int(members[np.argmin(clustering.distances[members, cluster])])
+        # Among members (near-)tied at the minimum centroid distance,
+        # take the one at the median trace position: feature-identical
+        # windows can still differ in behaviour at a phase boundary
+        # (e.g. the first windows of a re-scan phase miss while the
+        # bulk hits), and those transients sit at the edges of the tied
+        # run, never at its middle. Exact comparisons keep the choice
+        # deterministic.
+        member_distances = clustering.distances[members, cluster]
+        tied = members[member_distances <= member_distances.min() + 1e-12]
+        representative = int(tied[len(tied) // 2])
         start, stop = spans[representative]
+        warm_start = max(start - spec.warm_windows * window, 0)
+        replay_start = warm_start
+        if spec.warm_synthesis == "replay":
+            replay_start = max(warm_start - spec.replay_windows * window, 0)
         intervals.append(
             Interval(
                 index=representative,
                 start=start,
                 stop=stop,
-                warm_start=max(start - spec.warm_windows * window, 0),
+                warm_start=warm_start,
                 weight=int(len(members)),
                 cluster=cluster,
+                replay_start=replay_start,
             )
         )
     intervals.sort(key=lambda interval: interval.start)
-    return SamplingPlan(
+    plan = SamplingPlan(
         workload=trace.name,
         spec=spec,
         window_size=window,
@@ -162,3 +205,12 @@ def build_plan(
         intervals=tuple(intervals),
         trace_accesses=len(trace),
     )
+    if plan.simulated_accesses >= len(trace):
+        raise ConfigurationError(
+            f"sampling plan for trace {trace.name!r} would simulate "
+            f"{plan.simulated_accesses} of {len(trace)} accesses "
+            f"(warm_windows={spec.warm_windows} around "
+            f"{len(plan.intervals)} window(s) of {window}); the trace is "
+            "too short for this spec — run it unsampled"
+        )
+    return plan

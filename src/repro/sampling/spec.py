@@ -16,12 +16,25 @@ from typing import Any
 from ..errors import ConfigurationError
 
 #: Version of the spec's JSON representation (part of cell cache keys).
-SPEC_SCHEMA_VERSION = 1
+SPEC_SCHEMA_VERSION = 2
 
 #: Floor on the auto-sized measurement window, in accesses. Windows
 #: below this measure too little to be statistically meaningful even on
 #: tiny smoke traces.
 MIN_AUTO_WINDOW = 250
+
+#: Warm-state synthesis strategies the executor implements:
+#:
+#: * ``"recency"`` — rebuild per-level content from trace recency only
+#:   (MTR-style); right for recency-family policies, blind to learned
+#:   predictor tables.
+#: * ``"replay"`` — recency content plus a training-only functional
+#:   replay of the last ``replay_windows`` windows of the skipped
+#:   region, driving the policy's training hooks without timing.
+#: * ``"checkpoint"`` — recency content plus predictor tables restored
+#:   from a functional pass over the trace prefix, captured once per
+#:   (trace, policy, config, boundaries) and reused across runs.
+SYNTHESIS_STRATEGIES = ("recency", "replay", "checkpoint")
 
 
 @dataclass(frozen=True)
@@ -49,6 +62,18 @@ class SamplingSpec:
     target_reduction:
         The trace-reduction factor the auto window sizing aims for.
         Ignored when ``window_size`` is explicit.
+    warm_synthesis:
+        Warm-state synthesis strategy, one of
+        :data:`SYNTHESIS_STRATEGIES`. ``"recency"`` rebuilds cache
+        content only; ``"replay"`` additionally drives the policy's
+        training hooks over a bounded suffix of the skipped region;
+        ``"checkpoint"`` restores predictor tables captured at interval
+        boundaries by a functional pass over the trace prefix.
+    replay_windows:
+        For ``warm_synthesis="replay"``: how many windows of the
+        skipped region are functionally replayed (training only, no
+        timing) before each measured interval. Ignored by the other
+        strategies.
     """
 
     intervals: int = 4
@@ -56,6 +81,8 @@ class SamplingSpec:
     warm_windows: int = 1
     seed: int = 0
     target_reduction: int = 12
+    warm_synthesis: str = "recency"
+    replay_windows: int = 4
 
     def __post_init__(self) -> None:
         if self.intervals < 1:
@@ -76,18 +103,34 @@ class SamplingSpec:
                 f"sampling target_reduction must be >= 2, "
                 f"got {self.target_reduction}"
             )
+        if self.warm_synthesis not in SYNTHESIS_STRATEGIES:
+            raise ConfigurationError(
+                f"sampling warm_synthesis must be one of "
+                f"{', '.join(SYNTHESIS_STRATEGIES)}; got {self.warm_synthesis!r}"
+            )
+        if self.replay_windows < 1:
+            raise ConfigurationError(
+                f"sampling replay_windows must be >= 1, "
+                f"got {self.replay_windows}"
+            )
 
     def effective_window(self, trace_accesses: int) -> int:
         """The window size used for a trace of ``trace_accesses`` records.
 
-        Auto sizing solves ``intervals * (warm_windows + 1) * window <=
+        Auto sizing solves ``intervals * windows_touched * window <=
         trace_accesses / target_reduction`` for the window, floored at
         :data:`MIN_AUTO_WINDOW` so degenerate traces still get a usable
-        window.
+        window. ``windows_touched`` counts the measured window, the
+        timed warm-up windows and — under the ``"replay"`` strategy —
+        the functionally replayed windows, so the total work touched
+        per run honours the reduction target regardless of strategy.
         """
         if self.window_size > 0:
             return self.window_size
-        budget = self.intervals * (self.warm_windows + 1) * self.target_reduction
+        per_interval = self.warm_windows + 1
+        if self.warm_synthesis == "replay":
+            per_interval += self.replay_windows
+        budget = self.intervals * per_interval * self.target_reduction
         return max(MIN_AUTO_WINDOW, trace_accesses // max(budget, 1))
 
     def to_json_dict(self) -> dict[str, Any]:
@@ -99,6 +142,8 @@ class SamplingSpec:
             "warm_windows": self.warm_windows,
             "seed": self.seed,
             "target_reduction": self.target_reduction,
+            "warm_synthesis": self.warm_synthesis,
+            "replay_windows": self.replay_windows,
         }
 
     @classmethod
@@ -116,6 +161,8 @@ class SamplingSpec:
             warm_windows=int(doc["warm_windows"]),
             seed=int(doc["seed"]),
             target_reduction=int(doc["target_reduction"]),
+            warm_synthesis=str(doc["warm_synthesis"]),
+            replay_windows=int(doc["replay_windows"]),
         )
 
     @classmethod
@@ -124,13 +171,16 @@ class SamplingSpec:
 
         ``"default"`` (or the empty string) yields the default spec;
         otherwise the string is comma-separated ``key=value`` pairs with
-        the keys ``k`` (intervals), ``window``, ``warm``, ``seed`` and
-        ``reduction``, e.g. ``"k=4,window=0,warm=1,seed=0"``.
+        the keys ``k`` (intervals), ``window``, ``warm``, ``seed``,
+        ``reduction``, ``synthesis`` (a strategy name from
+        :data:`SYNTHESIS_STRATEGIES`) and ``replay`` (windows replayed
+        under the replay strategy), e.g.
+        ``"k=4,window=0,synthesis=replay,replay=4"``.
         """
         text = text.strip()
         if text in ("", "default"):
             return cls()
-        values: dict[str, int] = {}
+        values: dict[str, Any] = {}
         aliases = {
             "k": "intervals",
             "intervals": "intervals",
@@ -141,6 +191,10 @@ class SamplingSpec:
             "seed": "seed",
             "reduction": "target_reduction",
             "target_reduction": "target_reduction",
+            "synthesis": "warm_synthesis",
+            "warm_synthesis": "warm_synthesis",
+            "replay": "replay_windows",
+            "replay_windows": "replay_windows",
         }
         for part in text.split(","):
             key, sep, raw = part.partition("=")
@@ -149,10 +203,16 @@ class SamplingSpec:
                 raise ConfigurationError(
                     f"bad sampling spec element {part!r}; expected "
                     "comma-separated key=value pairs with keys "
-                    "k, window, warm, seed, reduction (or 'default')"
+                    "k, window, warm, seed, reduction, synthesis, "
+                    "replay (or 'default')"
                 )
+            field = aliases[key]
+            raw = raw.strip()
+            if field == "warm_synthesis":
+                values[field] = raw  # validated by __post_init__
+                continue
             try:
-                values[aliases[key]] = int(raw.strip())
+                values[field] = int(raw)
             except ValueError as exc:
                 raise ConfigurationError(
                     f"bad sampling spec value {part!r}: not an integer"
@@ -162,7 +222,11 @@ class SamplingSpec:
     def describe(self) -> str:
         """One-line human-readable form (CLI output)."""
         window = self.window_size if self.window_size else "auto"
+        synthesis = self.warm_synthesis
+        if synthesis == "replay":
+            synthesis = f"replay({self.replay_windows}w)"
         return (
             f"k={self.intervals} window={window} warm={self.warm_windows} "
-            f"seed={self.seed} target_reduction={self.target_reduction}x"
+            f"seed={self.seed} target_reduction={self.target_reduction}x "
+            f"synthesis={synthesis}"
         )

@@ -8,16 +8,18 @@ appends the aggregates to the checked-in ``BENCH_sampling.json`` and
 ``benchmarks/check_regression.py --sampling`` gates them against the
 committed error budget in CI.
 
-The default policy set is the recency family (LRU + SRRIP): the warm
-state synthesized at interval boundaries is recency-ordered, which is
-exactly right for these policies and systematically wrong for
-thrash-resistant predictors at smoke scale (see docs/sampling.md).
+Each policy validates under its committed warm-state synthesis strategy
+(:data:`PREFERRED_SYNTHESIS`): the recency family needs only the
+recency-ordered content rebuild, while learned policies additionally
+need their predictor tables synthesized — by training-only replay of
+the skipped region or by interval-boundary table checkpoints (see
+docs/sampling.md for the per-policy validation status).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from ..core.config import MachineConfig, cascade_lake
@@ -28,7 +30,30 @@ from .executor import simulate_sampled
 from .spec import SamplingSpec
 
 #: Policies the committed error budget is validated (and gated) for.
-VALIDATED_POLICIES = ("lru", "srrip")
+#: glider and drrip are deliberately absent: under every synthesis
+#: strategy their sampled MPKI matches the full run but their IPC error
+#: exceeds the budget on a few timing-sensitive cells (miss burstiness
+#: does not extrapolate from one representative window) — see
+#: docs/sampling.md for the measured numbers.
+VALIDATED_POLICIES = ("lru", "srrip", "dip", "ship", "hawkeye", "mpppb")
+
+#: The warm-state synthesis strategy each policy validates (and is
+#: gated) under. Policies absent from this mapping run with whatever
+#: strategy the caller's spec carries. The recency family needs no
+#: predictor synthesis; learned policies use interval-boundary table
+#: checkpoints, which reproduce a full run's tables bit-exactly at the
+#: warm-up boundary (training-only replay is the cheaper fallback where
+#: a checkpoint pass over the prefix is not worth its cost).
+PREFERRED_SYNTHESIS: dict[str, str] = {
+    "lru": "recency",
+    "srrip": "recency",
+    "drrip": "checkpoint",
+    "dip": "checkpoint",
+    "ship": "checkpoint",
+    "hawkeye": "checkpoint",
+    "glider": "checkpoint",
+    "mpppb": "checkpoint",
+}
 
 #: Suites the smoke validation covers.
 DEFAULT_SUITES = ("gap", "spec06")
@@ -41,6 +66,8 @@ class ValidationCell:
     suite: str
     workload: str
     policy: str
+    #: Warm-state synthesis strategy the sampled run used.
+    synthesis: str
     full_mpki: float
     sampled_mpki: float
     full_ipc: float
@@ -136,6 +163,10 @@ class ValidationReport:
         return {
             "spec": self.spec.to_json_dict(),
             "policies": list(self.policies),
+            "synthesis": {
+                policy: PREFERRED_SYNTHESIS.get(policy, self.spec.warm_synthesis)
+                for policy in self.policies
+            },
             "suites": {
                 suite: summary.to_json_dict()
                 for suite, summary in sorted(self.suites.items())
@@ -146,6 +177,7 @@ class ValidationReport:
                     "suite": cell.suite,
                     "workload": cell.workload,
                     "policy": cell.policy,
+                    "synthesis": cell.synthesis,
                     "full_mpki": round(cell.full_mpki, 4),
                     "sampled_mpki": round(cell.sampled_mpki, 4),
                     "mpki_error": round(cell.mpki_error, 5),
@@ -163,12 +195,13 @@ class ValidationReport:
             f"sampled-vs-full validation — spec {self.spec.describe()}, "
             f"policies {', '.join(self.policies)}",
             "",
-            f"{'workload':24s} {'policy':8s} {'full mpki':>10s} "
+            f"{'workload':24s} {'policy':8s} {'synth':10s} {'full mpki':>10s} "
             f"{'sampled':>10s} {'err':>7s} {'ipc err':>8s} {'red':>7s}",
         ]
         for cell in self.cells:
             lines.append(
-                f"{cell.workload:24s} {cell.policy:8s} {cell.full_mpki:10.2f} "
+                f"{cell.workload:24s} {cell.policy:8s} {cell.synthesis:10s} "
+                f"{cell.full_mpki:10.2f} "
                 f"{cell.sampled_mpki:10.2f} {cell.mpki_error:6.1%} "
                 f"{cell.ipc_error:7.1%} {cell.reduction:6.1f}x"
             )
@@ -215,7 +248,9 @@ def run_validation(
     """Sampled-vs-full comparison over whole suites.
 
     Every cell simulates twice in-process (full, then sampled), so the
-    wall-clock totals in the report compare like with like.
+    wall-clock totals in the report compare like with like. Policies
+    with a committed strategy in :data:`PREFERRED_SYNTHESIS` sample
+    under it; other policies use the strategy the spec carries.
     """
     if spec is None:
         spec = SamplingSpec()
@@ -227,6 +262,11 @@ def run_validation(
             for policy in policies:
                 if progress is not None:
                     progress(f"{workload} x {policy}")
+                synthesis = PREFERRED_SYNTHESIS.get(policy, spec.warm_synthesis)
+                cell_spec = (
+                    spec if synthesis == spec.warm_synthesis
+                    else replace(spec, warm_synthesis=synthesis)
+                )
                 started = time.perf_counter()
                 full = simulate(
                     trace, config=config, llc_policy=policy,
@@ -236,7 +276,7 @@ def run_validation(
                 started = time.perf_counter()
                 sampled = simulate_sampled(
                     trace, config=config, llc_policy=policy,
-                    warmup_fraction=warmup_fraction, sampling=spec,
+                    warmup_fraction=warmup_fraction, sampling=cell_spec,
                 )
                 sampled_wall = time.perf_counter() - started
                 plan_doc = sampled.info["sampling_plan"]
@@ -245,6 +285,7 @@ def run_validation(
                         suite=suite,
                         workload=workload,
                         policy=policy,
+                        synthesis=synthesis,
                         full_mpki=full.llc_mpki,
                         sampled_mpki=sampled.llc_mpki,
                         full_ipc=full.ipc,

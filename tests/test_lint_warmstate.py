@@ -1,0 +1,190 @@
+"""Warm-state-protocol pass tests: fixture trees and the live tree.
+
+The pass must catch a registered policy that neither overrides both
+checkpoint methods nor opts out via ``WARM_STATE_EXCLUDED``, flag
+half-implemented protocols, and keep the exclusion list honest (stale
+and unknown entries are warnings). On the live tree the static view
+must agree with the runtime registry.
+"""
+
+import textwrap
+
+from repro.lint import Severity, lint_paths, make_rule, warm_state_report
+from repro.lint.analyzer import build_context, package_root
+
+BASE = textwrap.dedent(
+    """
+    class ReplacementPolicy:
+        def checkpoint_tables(self):
+            return None
+
+        def restore_tables(self, tables):
+            raise NotImplementedError
+    """
+)
+
+
+def make_tree(tmp_path, policies_src, excluded, registrations):
+    """Minimal base + policies + registry fixture for the pass."""
+    root = tmp_path / "pkg"
+    root.mkdir(exist_ok=True)
+    (root / "base.py").write_text(BASE)
+    (root / "policies.py").write_text(textwrap.dedent(policies_src))
+    pairs = "\n".join(
+        f'    ("{name}", {cls}),' for name, cls in registrations
+    )
+    (root / "registry.py").write_text(
+        f"WARM_STATE_EXCLUDED = {excluded}\n\n"
+        f"for _name, _factory in [\n{pairs}\n]:\n"
+        "    register_policy(_name, _factory)\n"
+    )
+    return root
+
+
+def findings_for(root):
+    return lint_paths([root], [make_rule("warm-state-protocol")])
+
+
+COMPLIANT = """
+    class GoodPolicy(ReplacementPolicy):
+        def checkpoint_tables(self):
+            return {"table": list(self._table)}
+
+        def restore_tables(self, tables):
+            self._table[:] = tables["table"]
+
+    class RecencyPolicy(ReplacementPolicy):
+        pass
+"""
+
+
+class TestFixtureTrees:
+    def test_compliant_tree_is_clean(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            COMPLIANT,
+            '("RecencyPolicy",)',
+            [("good", "GoodPolicy"), ("recency", "RecencyPolicy")],
+        )
+        assert findings_for(root) == []
+
+    def test_unimplemented_unexcluded_policy_is_an_error(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            COMPLIANT,
+            "()",
+            [("good", "GoodPolicy"), ("recency", "RecencyPolicy")],
+        )
+        findings = findings_for(root)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.severity == Severity.ERROR
+        assert "RecencyPolicy" in finding.message
+        assert "WARM_STATE_EXCLUDED" in finding.message
+        assert finding.path == str(root / "policies.py")
+
+    def test_half_implemented_protocol_is_an_error_even_when_excluded(
+        self, tmp_path
+    ):
+        half = """
+            class HalfPolicy(ReplacementPolicy):
+                def checkpoint_tables(self):
+                    return {}
+        """
+        root = make_tree(
+            tmp_path, half, '("HalfPolicy",)', [("half", "HalfPolicy")]
+        )
+        findings = findings_for(root)
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+        assert "restore_tables" in findings[0].message
+
+    def test_inherited_implementation_counts(self, tmp_path):
+        src = COMPLIANT + """
+    class ChildPolicy(GoodPolicy):
+        pass
+"""
+        root = make_tree(tmp_path, src, "()", [("child", "ChildPolicy")])
+        assert findings_for(root) == []
+
+    def test_stale_exclusion_is_a_warning(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            COMPLIANT,
+            '("GoodPolicy", "RecencyPolicy")',
+            [("good", "GoodPolicy"), ("recency", "RecencyPolicy")],
+        )
+        findings = findings_for(root)
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert "stale" in findings[0].message
+        assert "GoodPolicy" in findings[0].message
+
+    def test_unknown_exclusion_is_a_warning(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            COMPLIANT,
+            '("RecencyPolicy", "GhostPolicy")',
+            [("good", "GoodPolicy"), ("recency", "RecencyPolicy")],
+        )
+        findings = findings_for(root)
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert "GhostPolicy" in findings[0].message
+
+    def test_non_literal_exclusion_list_is_an_error(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            COMPLIANT,
+            "tuple(sorted(NAMES))",
+            [("good", "GoodPolicy")],
+        )
+        findings = findings_for(root)
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+        assert "literal tuple" in findings[0].message
+
+    def test_tree_without_registry_is_skipped(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "base.py").write_text(BASE)
+        assert findings_for(root) == []
+
+
+class TestLiveTree:
+    def test_live_tree_is_clean(self):
+        assert findings_for(package_root()) == []
+
+    def test_report_matches_runtime_registry(self):
+        from repro.policies.registry import (
+            WARM_STATE_EXCLUDED,
+            available_policies,
+            make_policy,
+        )
+
+        ctx, parse_findings = build_context([package_root()])
+        assert parse_findings == []
+        report = warm_state_report(ctx)
+        assert report is not None
+        runtime_classes = {
+            type(make_policy(name)).__name__ for name in available_policies()
+        }
+        assert set(report.registered) == runtime_classes
+        assert tuple(report.excluded) == WARM_STATE_EXCLUDED
+        # Implemented + excluded must partition the registered classes.
+        assert set(report.implemented) | set(report.excluded) == runtime_classes
+        assert set(report.implemented) & set(report.excluded) == set()
+
+    def test_seven_paper_policies_implement_the_protocol(self):
+        ctx, _ = build_context([package_root()])
+        report = warm_state_report(ctx)
+        for cls in (
+            "SRRIPPolicy",
+            "DRRIPPolicy",
+            "DIPPolicy",
+            "SHiPPolicy",
+            "HawkeyePolicy",
+            "GliderPolicy",
+            "MPPPBPolicy",
+        ):
+            assert cls in report.implemented, cls

@@ -83,6 +83,38 @@ class TestSamplingSpec:
         with pytest.raises(ConfigurationError, match="not an integer"):
             SamplingSpec.from_string("k=four")
 
+    def test_from_string_synthesis_and_replay(self):
+        spec = SamplingSpec.from_string("synthesis=replay,replay=2")
+        assert spec == SamplingSpec(warm_synthesis="replay", replay_windows=2)
+        assert SamplingSpec.from_string(
+            "synthesis=checkpoint"
+        ) == SamplingSpec(warm_synthesis="checkpoint")
+
+    def test_from_string_rejects_unknown_synthesis(self):
+        with pytest.raises(ConfigurationError, match="warm_synthesis"):
+            SamplingSpec.from_string("synthesis=psychic")
+
+    def test_json_roundtrip_carries_synthesis(self):
+        spec = SamplingSpec(warm_synthesis="replay", replay_windows=3)
+        assert SamplingSpec.from_json_dict(spec.to_json_dict()) == spec
+
+    def test_describe_names_the_strategy(self):
+        assert "synthesis=recency" in SamplingSpec().describe()
+        assert "replay(2w)" in SamplingSpec(
+            warm_synthesis="replay", replay_windows=2
+        ).describe()
+
+    def test_effective_window_budgets_replay_windows(self):
+        base = SamplingSpec()
+        replay = SamplingSpec(warm_synthesis="replay", replay_windows=4)
+        n = 1_000_000
+        # Replay windows cost a functional pass each, so the auto window
+        # shrinks to keep total touched work within the same budget.
+        assert replay.effective_window(n) < base.effective_window(n)
+        per_interval = replay.warm_windows + 1 + replay.replay_windows
+        window = replay.effective_window(n)
+        assert replay.intervals * per_interval * window <= n // replay.target_reduction
+
     @pytest.mark.parametrize(
         "kwargs",
         [
@@ -90,6 +122,8 @@ class TestSamplingSpec:
             {"window_size": -1},
             {"warm_windows": -1},
             {"target_reduction": 1},
+            {"warm_synthesis": "psychic"},
+            {"replay_windows": 0},
         ],
     )
     def test_validation(self, kwargs):
@@ -319,7 +353,14 @@ class TestSweepIntegration:
         reseeded = cell_key(
             trace, "lru", machine, 0.1, sampling=SamplingSpec(seed=1)
         )
-        assert len({base, sampled, reseeded}) == 3
+        resynthesized = cell_key(
+            trace,
+            "lru",
+            machine,
+            0.1,
+            sampling=SamplingSpec(warm_synthesis="replay"),
+        )
+        assert len({base, sampled, reseeded, resynthesized}) == 4
 
     def test_serial_parallel_bit_identical(self, machine, traces):
         spec = SamplingSpec(intervals=2, window_size=400)

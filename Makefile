@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-batched bench-sampling sampling-gate examples experiments lint typecheck check clean
+.PHONY: install test bench bench-smoke bench-batched bench-sampling sampling-gate chaos examples experiments lint typecheck check clean
 
 install:
 	pip install -e .[dev]
@@ -47,6 +47,15 @@ bench-batched:
 bench-sampling:
 	REPRO_SMOKE=1 PYTHONPATH=src $(PYTHON) benchmarks/record_sampling.py
 	REPRO_SMOKE=1 $(PYTHON) benchmarks/check_regression.py --sampling
+
+# Deterministic fault injection, both generations: classic worker-level
+# faults (crash/hang/corruption/truncation), then the chaos v2 failure
+# domains — whole-process SIGKILL + journal resume, disk-full cache
+# degradation, and a memory-bomb cell against the RSS watchdog. Every
+# scenario must recover bit-identically (see docs/resilience.md).
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --seed 7 --jobs 2 --cell-timeout 10
+	PYTHONPATH=src $(PYTHON) -m repro chaos --scenario v2 --seed 7
 
 examples:
 	$(PYTHON) examples/quickstart.py

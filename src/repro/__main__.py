@@ -5,7 +5,10 @@ The subcommands cover the common workflows without writing a script:
 * ``simulate`` — trace one workload and run it under one policy;
 * ``sweep`` — a (workload x policy) matrix with speed-ups over LRU,
   fanned out over ``--jobs`` worker processes with on-disk caching;
-  ``--retries``/``--cell-timeout`` arm the fault-tolerance layer;
+  ``--retries``/``--cell-timeout`` arm the fault-tolerance layer; every
+  cached run is journalled so an interrupted sweep (SIGTERM, SIGINT,
+  even ``kill -9``) resumes with ``--resume <run_id>``; exit code 75
+  means "interrupted but resumable";
 * ``profile`` — run one cell with interval-resolved telemetry armed and
   render (or dump as JSON) its profile;
 * ``sample`` — inspect a workload's representative-interval sampling
@@ -14,7 +17,8 @@ The subcommands cover the common workflows without writing a script:
 * ``cache`` — inspect/verify/clear/prune the sweep engine's result cache;
 * ``chaos`` — deterministic fault injection (worker crashes, hangs,
   corrupt cache entries, truncated traces) over a small GAP sweep,
-  asserting every recovery path end-to-end;
+  asserting every recovery path end-to-end; ``--scenario v2`` adds
+  whole-process SIGKILL + resume, disk-full and memory-bomb scenarios;
 * ``experiment`` — regenerate one of the paper's tables/figures;
 * ``lint`` — run the policy-contract static analyzer (and, with
   ``--sanitize-selftest``, the runtime invariant sanitizer);
@@ -189,6 +193,18 @@ def _default_cache_dir() -> Path:
     return Path("~/.cache/repro/sweeps").expanduser()
 
 
+def _default_journal_dir() -> Path:
+    """The CLI's run-journal root: ``REPRO_JOURNAL_DIR`` or ``~/.cache/repro/journal``.
+
+    A sibling of the cache root, never inside it — ``repro cache clear``
+    must not destroy resume state.
+    """
+    env = os.environ.get("REPRO_JOURNAL_DIR", "").strip()
+    if env:
+        return Path(env)
+    return Path("~/.cache/repro/journal").expanduser()
+
+
 def _retry_policy_from(args: argparse.Namespace):
     """A RetryPolicy from CLI flags, or None when resilience is off."""
     if not args.retries and args.cell_timeout is None:
@@ -217,23 +233,89 @@ def _add_retry_flags(parser: argparse.ArgumentParser) -> None:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a (workload x policy) matrix and print speed-ups over LRU."""
+    from .errors import SweepInterrupted
     from .harness.engine import SweepEngine
+    from .resilience.durability import (
+        EXIT_INTERRUPTED,
+        RunJournal,
+        ShutdownCoordinator,
+    )
+
+    journal_dir = (
+        Path(args.journal_dir) if args.journal_dir else _default_journal_dir()
+    )
+    if not args.workloads and not args.resume:
+        raise ReproError("at least one workload is required (or --resume RUN_ID)")
+    if args.resume:
+        if args.no_cache:
+            raise ReproError(
+                "--resume needs the result cache (the journal records "
+                "which cells finished; the cache holds their results) — "
+                "drop --no-cache"
+            )
+        parsed = RunJournal.load(RunJournal.find(journal_dir, args.resume))
+        if not parsed.context:
+            raise ReproError(
+                f"journal {args.resume} carries no CLI context; it was "
+                "written by the API, not `repro sweep` — resume it from "
+                "the same API call instead"
+            )
+        for key in ("workloads", "policies", "window", "sanitize",
+                    "engine", "sampling"):
+            setattr(args, key, parsed.context[key])
+        print(
+            f"resuming run {args.resume}: "
+            f"{len(parsed.completed_cells)} cell(s) already journalled",
+            file=sys.stderr,
+        )
 
     traces = {w: _build_trace(w, args.window) for w in args.workloads}
     policies = [BASELINE_POLICY, *(args.policies or PAPER_POLICIES)]
+    use_journal = not args.no_cache and not args.no_journal
+    cache_max_bytes = args.cache_max_bytes
+    if cache_max_bytes is None:
+        raw_budget = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+        cache_max_bytes = int(raw_budget) if raw_budget else None
     engine = SweepEngine(
         cache_dir=None if args.no_cache else _default_cache_dir(),
         jobs=args.jobs,
+        journal_dir=journal_dir if use_journal else None,
+        cache_max_bytes=cache_max_bytes,
     )
-    matrix = run_matrix(
-        traces, policies, config=cascade_lake(),
-        progress=lambda w, p: print(f"  running {w} x {p} ...", file=sys.stderr),
-        sanitize=args.sanitize,
-        engine=engine,
-        retry=_retry_policy_from(args),
-        cell_engine=args.engine,
-        sampling=_sampling_spec_from(args),
-    )
+    # Everything `--resume` needs to rebuild this invocation rides in the
+    # journal header; same arguments => same spec => same run id.
+    journal_context = {
+        "workloads": list(args.workloads),
+        "policies": list(args.policies) if args.policies else None,
+        "window": args.window,
+        "sanitize": bool(args.sanitize),
+        "engine": args.engine,
+        "sampling": args.sampling,
+    }
+    shutdown = ShutdownCoordinator()
+    try:
+        with shutdown:
+            matrix = run_matrix(
+                traces, policies, config=cascade_lake(),
+                progress=lambda w, p: print(f"  running {w} x {p} ...",
+                                            file=sys.stderr),
+                sanitize=args.sanitize,
+                engine=engine,
+                retry=_retry_policy_from(args),
+                cell_engine=args.engine,
+                sampling=_sampling_spec_from(args),
+                memory_budget_mb=args.memory_budget_mb,
+                shutdown=shutdown,
+                drain_timeout=args.drain_timeout,
+                journal_context=journal_context,
+                failure_report_path=args.failure_report,
+            )
+    except SweepInterrupted as interrupted:
+        print(f"sweep interrupted: {interrupted}", file=sys.stderr)
+        if interrupted.run_id:
+            print(f"resume with: repro sweep --resume {interrupted.run_id}",
+                  file=sys.stderr)
+        return EXIT_INTERRUPTED
     rows = [
         [w, *[matrix.speedup(w, p) for p in policies[1:]]]
         for w in matrix.workloads
@@ -242,11 +324,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                        title="Speed-up over LRU"))
     stats = matrix.sweep_stats
     if stats is not None:
+        resumed = f", {stats.resumed} resumed" if stats.resumed else ""
         print(
             f"engine: {stats.cells} cells, {stats.hits} from cache, "
-            f"{stats.simulated} simulated ({args.jobs} jobs)",
+            f"{stats.simulated} simulated{resumed} ({args.jobs} jobs)",
             file=sys.stderr,
         )
+    if matrix.run_id is not None:
+        print(f"run {matrix.run_id} journalled at {matrix.journal_path}",
+              file=sys.stderr)
     if matrix.failure_report is not None and matrix.failure_report.cells:
         from .harness.report import render_failure_report
 
@@ -256,6 +342,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or maintain the sweep engine's on-disk result cache."""
+    import json
+
     from .harness.engine import ResultCache, simulator_salt
 
     if args.action == "salt":
@@ -266,13 +354,19 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(cache.stats().render())
     elif args.action == "verify":
         report = cache.verify()
-        print(report.render())
+        if args.json:
+            print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
         if report.quarantined:
             print(
                 f"quarantined entries moved to "
                 f"{cache.root / 'quarantine'}; they will be re-simulated",
                 file=sys.stderr,
             )
+        # Non-zero whenever the cache holds corrupt state — including
+        # entries quarantined by *earlier* runs that nobody acted on.
+        if not report.clean:
             return 1
     elif args.action == "clear":
         removed = cache.clear()
@@ -288,6 +382,30 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
     from .resilience import RetryPolicy, run_chaos
+    from .resilience.chaos import CHAOS_V2_SCENARIOS, run_chaos_v2
+
+    if args.scenario != "classic":
+        scenarios = (
+            CHAOS_V2_SCENARIOS if args.scenario == "v2"
+            else (args.scenario,)
+        )
+        report = run_chaos_v2(
+            seed=args.seed,
+            scenarios=scenarios,
+            kernels=tuple(args.kernels),
+            policies=tuple(args.policies or ("lru", "srrip")),
+            max_accesses=args.window,
+            jobs=args.jobs,
+            progress=lambda message: print(f"  {message}", file=sys.stderr),
+        )
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(report.to_json_dict(), indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {args.json}", file=sys.stderr)
+        print(report.render())
+        return 0 if report.passed else 1
 
     retry = RetryPolicy(
         max_attempts=args.retries + 1,
@@ -491,7 +609,9 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.set_defaults(func=cmd_simulate)
 
     p_sweep = sub.add_parser("sweep", help="(workload x policy) speed-up matrix")
-    p_sweep.add_argument("workloads", nargs="+")
+    p_sweep.add_argument("workloads", nargs="*",
+                         help="required unless --resume rebuilds them "
+                              "from the journal header")
     p_sweep.add_argument("--policies", nargs="*", choices=available_policies())
     p_sweep.add_argument("--window", type=int, default=200_000)
     p_sweep.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
@@ -513,6 +633,36 @@ def main(argv: list[str] | None = None) -> int:
                               "'k=4,window=0,warm=1,seed=0,"
                               "synthesis=checkpoint' "
                               "(see docs/sampling.md)")
+    p_sweep.add_argument("--journal-dir", metavar="DIR", default=None,
+                         help="run-journal root (default: $REPRO_JOURNAL_DIR "
+                              "or ~/.cache/repro/journal)")
+    p_sweep.add_argument("--no-journal", action="store_true",
+                         help="disable the write-ahead run journal "
+                              "(implied by --no-cache)")
+    p_sweep.add_argument("--resume", metavar="RUN_ID", default=None,
+                         help="resume an interrupted journalled run: "
+                              "rebuilds the sweep from the journal header "
+                              "and restarts at the first incomplete cell")
+    p_sweep.add_argument("--failure-report", metavar="PATH", default=None,
+                         help="write the failure report JSON here (default: "
+                              "<run_id>-failures.json next to the journal "
+                              "when resilience is armed)")
+    p_sweep.add_argument("--memory-budget-mb", type=float, default=None,
+                         metavar="MB",
+                         help="per-worker RSS budget; cells that exceed it "
+                              "fail with a retryable MemoryBudgetError "
+                              "instead of drawing the OOM-killer "
+                              "(default: off)")
+    p_sweep.add_argument("--cache-max-bytes", type=int, default=None,
+                         metavar="BYTES",
+                         help="byte budget for the result cache; oldest "
+                              "entries are evicted past it (default: "
+                              "$REPRO_CACHE_MAX_BYTES or unlimited)")
+    p_sweep.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="on SIGTERM/SIGINT, seconds to wait for "
+                              "in-flight cells before abandoning them "
+                              "(default: 30)")
     _add_retry_flags(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -565,12 +715,23 @@ def main(argv: list[str] | None = None) -> int:
     p_cache.add_argument("--cache-dir", default=None,
                          help="cache root (default: $REPRO_CACHE_DIR or "
                               "~/.cache/repro/sweeps)")
+    p_cache.add_argument("--json", action="store_true",
+                         help="for verify: print the report as JSON "
+                              "(machine-readable; exit code is unchanged)")
     p_cache.set_defaults(func=cmd_cache)
 
     p_chaos = sub.add_parser(
         "chaos",
         help="seeded fault injection: crash/hang workers, corrupt cache, "
              "truncate traces; assert full recovery")
+    p_chaos.add_argument("--scenario", default="classic",
+                         choices=["classic", "v2", "kill-resume",
+                                  "disk-full", "memory-bomb"],
+                         help="'classic' injects worker-level faults; 'v2' "
+                              "runs the process/disk/memory scenarios "
+                              "(SIGKILL + journal resume, ENOSPC "
+                              "degradation, RSS memory bombs), or name "
+                              "one v2 scenario (default: classic)")
     p_chaos.add_argument("--seed", type=int, default=0,
                          help="fault-schedule seed (default: 0)")
     p_chaos.add_argument("--kernels", nargs="*", default=["bfs", "pr"],

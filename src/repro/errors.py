@@ -76,6 +76,35 @@ class CellTimeoutError(ResilienceError):
     """
 
 
+class MemoryBudgetError(ResilienceError):
+    """A sweep cell exceeded its per-worker RSS budget.
+
+    Raised *inside* the worker by the RSS watchdog
+    (:class:`repro.resilience.durability.MemoryWatchdog`) before the OS
+    OOM-killer has a reason to intervene — unlike ``MemoryError`` the
+    worker survives and the failure carries the measured RSS. Classified
+    as transient *with a strike*: a one-off pressure spike recovers on
+    retry, while a cell that keeps blowing its budget accumulates
+    strikes and is poisoned without ever taking the pool down.
+    """
+
+
+class SweepInterrupted(ResilienceError):
+    """A sweep was stopped by a shutdown signal and is resumable.
+
+    Raised after graceful shutdown has drained in-flight cells and
+    flushed the run journal and failure report. ``run_id`` names the
+    journal to resume from (``repro sweep --resume <run_id>``); ``None``
+    when the sweep ran without a journal. The CLI maps this onto a
+    distinct exit code (:data:`repro.resilience.durability.EXIT_INTERRUPTED`)
+    so wrappers can tell "interrupted, resumable" from "failed".
+    """
+
+    def __init__(self, message: str, run_id: "str | None" = None) -> None:
+        super().__init__(message)
+        self.run_id = run_id
+
+
 class CacheIntegrityError(ReproError):
     """An on-disk result-cache entry failed its content checksum.
 

@@ -32,6 +32,7 @@ import hashlib
 import json
 import os
 import shutil
+import time
 import traceback as traceback_module
 import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -42,7 +43,24 @@ from typing import TYPE_CHECKING, Callable
 from ..core.config import MachineConfig, cascade_lake
 from ..core.results import RESULT_SCHEMA_VERSION, SimulationResult
 from ..core.simulator import DEFAULT_WARMUP_FRACTION, simulate
-from ..errors import CacheIntegrityError, ConfigurationError, SimulationError
+from ..errors import (
+    CacheIntegrityError,
+    ConfigurationError,
+    MemoryBudgetError,
+    SimulationError,
+    SweepInterrupted,
+)
+from ..resilience.durability import (
+    CELL_FAILED,
+    CELL_OK,
+    CELL_POISONED,
+    ENV_JOURNAL_DIR,
+    RunJournal,
+    ShutdownCoordinator,
+    memory_guard,
+    sweep_spec_doc,
+    write_failure_report,
+)
 from ..resilience.executor import ResilientExecutor
 from ..resilience.policy import FailureKind, RetryPolicy
 from ..resilience.report import FailureReport
@@ -93,6 +111,7 @@ SALT_SOURCE_PACKAGES = (
 #: Environment variables the default engine is configured from.
 ENV_JOBS = "REPRO_JOBS"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
 
 
 def _salt_root() -> Path:
@@ -251,6 +270,10 @@ class SweepStats:
     hits: int = 0  # cells loaded from the on-disk cache
     simulated: int = 0  # cells actually run
     errors: int = 0  # cells that failed (isolate_failures=True)
+    #: Cells a resumed run journal had already marked complete (a subset
+    #: of ``hits``: their results come back from the cache). 0 for fresh
+    #: runs and journal-less sweeps.
+    resumed: int = 0
 
     @property
     def cells(self) -> int:
@@ -268,6 +291,10 @@ class SweepOutcome:
     #: Per-attempt accounting of everything the resilience layer
     #: absorbed; ``None`` for sweeps run without a retry policy.
     failure_report: "FailureReport | None" = None
+    #: Identity of the run journal this sweep wrote (``repro sweep
+    #: --resume <run_id>``); ``None`` for journal-less sweeps.
+    run_id: str | None = None
+    journal_path: Path | None = None
 
 
 @dataclass
@@ -312,12 +339,35 @@ class VerifyReport:
     ok: int = 0
     quarantined: int = 0  # corrupt entries moved this pass
     stale_format: int = 0  # well-formed entries with an old envelope version
+    previously_quarantined: int = 0  # entries already in quarantine/ before
+
+    @property
+    def clean(self) -> bool:
+        """No corruption found, now or by any earlier pass.
+
+        ``repro cache verify`` exits nonzero unless this holds, so a CI
+        gate catches corruption even when an earlier sweep (whose read
+        path quarantines silently) already moved the entry aside.
+        """
+        return self.quarantined == 0 and self.previously_quarantined == 0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "checked": self.checked,
+            "ok": self.ok,
+            "quarantined": self.quarantined,
+            "stale_format": self.stale_format,
+            "previously_quarantined": self.previously_quarantined,
+            "clean": self.clean,
+        }
 
     def render(self) -> str:
         return (
             f"verified {self.checked} entries under {self.root}: "
             f"{self.ok} ok, {self.quarantined} corrupt (quarantined), "
-            f"{self.stale_format} stale-format"
+            f"{self.stale_format} stale-format, "
+            f"{self.previously_quarantined} previously quarantined"
         )
 
 
@@ -332,18 +382,36 @@ class ResultCache:
     treated as a miss and deleted.
 
     An unwritable cache location (read-only filesystem, root shadowed by
-    a file, permission loss mid-sweep) degrades to uncached operation
-    with a single :class:`RuntimeWarning` — a sweep never dies because
-    its cache directory did.
+    a file, permission loss mid-sweep, ENOSPC) degrades to uncached
+    operation with a single :class:`RuntimeWarning` — a sweep never dies
+    because its cache directory did.
+
+    ``max_bytes`` bounds the cache's disk footprint: after every store
+    the least-recently-used entries (by file mtime — loads touch their
+    entry) are pruned until the total fits the budget, so an unattended
+    sweep service cannot fill the disk. The entry just written always
+    survives, even if it alone exceeds the budget.
     """
 
-    def __init__(self, root: str | Path, salt: str | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        salt: str | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ConfigurationError(
+                f"ResultCache.max_bytes must be positive, got {max_bytes}"
+            )
         self.root = Path(root)
         self.salt = salt if salt is not None else simulator_salt()
+        self.max_bytes = max_bytes
         self._disabled = False
         #: Corrupt entries this instance moved to quarantine (the sweep
         #: engine snapshots it around a run for the failure report).
         self.quarantined_count = 0
+        #: Entries the byte budget evicted (LRU) over this instance's life.
+        self.budget_evictions = 0
 
     def _disable(self, exc: OSError) -> None:
         """Fall back to uncached operation after a filesystem failure."""
@@ -397,7 +465,13 @@ class ResultCache:
         path = self.path_for(key)
         try:
             doc = json.loads(path.read_text(encoding="utf-8"))
-            return self._validate_entry(doc)
+            result = self._validate_entry(doc)
+            if self.max_bytes is not None:
+                try:
+                    os.utime(path)  # LRU recency for the byte budget
+                except OSError:
+                    pass  # read-only cache: hits still count, just not as recency
+            return result
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, UnicodeDecodeError, CacheIntegrityError,
@@ -435,12 +509,62 @@ class ResultCache:
         tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps(doc), encoding="utf-8")
+            self._write_payload(tmp, json.dumps(doc))
             os.replace(tmp, path)
         except OSError as exc:
+            # Never leave a partial temp file behind a failed write — a
+            # full disk is exactly when stray files hurt most.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
             self._disable(exc)
             return None
+        if self.max_bytes is not None:
+            self._enforce_budget(keep=path)
         return path
+
+    def _write_payload(self, tmp: Path, text: str) -> None:
+        """Write one entry's bytes to its temp file.
+
+        The single seam where entry bytes touch the disk — the chaos
+        harness's quota-limited cache overrides it to raise a real
+        ``ENOSPC``, so the disk-full scenario exercises the genuine
+        cleanup/degradation path above.
+        """
+        tmp.write_text(text, encoding="utf-8")
+
+    def _enforce_budget(self, keep: Path) -> None:
+        """LRU-prune entries until the cache fits ``max_bytes``.
+
+        ``keep`` (the entry just stored) is never pruned: evicting the
+        result we just computed would make the budget self-defeating.
+        Prune failures degrade the cache rather than the sweep.
+        """
+        assert self.max_bytes is not None
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        try:
+            for path in self._entry_files():
+                try:
+                    stat = path.stat()
+                except FileNotFoundError:
+                    continue  # another sweep pruned it first
+                total += stat.st_size
+                entries.append((stat.st_mtime, stat.st_size, path))
+            if total <= self.max_bytes:
+                return
+            entries.sort()  # oldest mtime first = least recently used
+            for _, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                if path == keep:
+                    continue
+                path.unlink(missing_ok=True)
+                total -= size
+                self.budget_evictions += 1
+        except OSError as exc:
+            self._disable(exc)
 
     def _entry_files(self) -> list[Path]:
         """Live entry files (quarantined entries are not entries)."""
@@ -491,6 +615,7 @@ class ResultCache:
         generations wholesale).
         """
         report = VerifyReport(root=str(self.root))
+        report.previously_quarantined = len(self._quarantined_files())
         for path in self._entry_files():
             report.checked += 1
             try:
@@ -559,18 +684,27 @@ def _simulate_cell(
     telemetry: TelemetryConfig | None = None,
     engine: str = "fast",
     sampling: SamplingSpec | None = None,
+    memory_budget_mb: float | None = None,
 ) -> tuple[str, str, SimulationResult]:
-    """Worker entry point: simulate one cell (runs in a pool process)."""
-    result = simulate(
-        trace,
-        config=config,
-        llc_policy=policy,
-        warmup_fraction=warmup_fraction,
-        sanitize=sanitize,
-        telemetry=telemetry,
-        engine=engine,
-        sampling=sampling,
-    )
+    """Worker entry point: simulate one cell (runs in a pool process).
+
+    ``memory_budget_mb`` arms the per-worker RSS watchdog
+    (:func:`repro.resilience.durability.memory_guard`): a cell whose
+    resident set exceeds the budget raises a structured
+    :class:`~repro.errors.MemoryBudgetError` instead of drawing the OS
+    OOM-killer onto the whole pool.
+    """
+    with memory_guard(memory_budget_mb):
+        result = simulate(
+            trace,
+            config=config,
+            llc_policy=policy,
+            warmup_fraction=warmup_fraction,
+            sanitize=sanitize,
+            telemetry=telemetry,
+            engine=engine,
+            sampling=sampling,
+        )
     return workload, policy, result
 
 
@@ -601,6 +735,7 @@ def _simulate_cell_by_name(
     telemetry: TelemetryConfig | None = None,
     engine: str = "fast",
     sampling: SamplingSpec | None = None,
+    memory_budget_mb: float | None = None,
 ) -> tuple[str, str, SimulationResult]:
     """Worker entry point resolving the trace from the worker registry."""
     trace = _WORKER_TRACES.get(workload)
@@ -611,7 +746,7 @@ def _simulate_cell_by_name(
         )
     return _simulate_cell(
         workload, policy, trace, config, warmup_fraction, sanitize, telemetry,
-        engine, sampling,
+        engine, sampling, memory_budget_mb,
     )
 
 
@@ -707,6 +842,16 @@ class SweepEngine:
     salt:
         Override the simulator-version salt (tests use this to model a
         core change without editing source files).
+    journal_dir:
+        Directory of crash-safe run journals (see
+        :mod:`repro.resilience.durability`); each journaled sweep can be
+        resumed after ``kill -9`` at the first incomplete cell. ``None``
+        (the default) disables journaling; journaling also requires a
+        cache, because the cache holds the results the journal points at.
+    cache_max_bytes:
+        Byte budget of the result cache: after every store the least-
+        recently-used entries are pruned until the cache fits. ``None``
+        leaves the cache unbounded.
     """
 
     def __init__(
@@ -714,23 +859,39 @@ class SweepEngine:
         cache_dir: str | Path | None = None,
         jobs: int = 1,
         salt: str | None = None,
+        journal_dir: str | Path | None = None,
+        cache_max_bytes: int | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs or 1))
         self.salt = salt if salt is not None else simulator_salt()
-        self.cache = ResultCache(cache_dir, salt=self.salt) if cache_dir else None
+        self.cache = (
+            ResultCache(cache_dir, salt=self.salt, max_bytes=cache_max_bytes)
+            if cache_dir
+            else None
+        )
+        self.journal_dir = Path(journal_dir) if journal_dir else None
 
     @classmethod
     def from_env(cls, jobs: int | None = None) -> "SweepEngine":
-        """An engine configured from ``REPRO_JOBS``/``REPRO_CACHE_DIR``.
+        """An engine configured from the ``REPRO_*`` environment.
 
-        With neither variable set this is a serial, uncached engine —
-        exactly the pre-engine behaviour, which keeps unit tests hermetic.
+        ``REPRO_JOBS``, ``REPRO_CACHE_DIR``, ``REPRO_JOURNAL_DIR`` and
+        ``REPRO_CACHE_MAX_BYTES`` are honoured. With none of them set
+        this is a serial, uncached, journal-less engine — exactly the
+        pre-engine behaviour, which keeps unit tests hermetic.
         """
         if jobs is None:
             raw = os.environ.get(ENV_JOBS, "").strip()
             jobs = int(raw) if raw else 1
         cache_dir = os.environ.get(ENV_CACHE_DIR, "").strip() or None
-        return cls(cache_dir=cache_dir, jobs=jobs)
+        journal_dir = os.environ.get(ENV_JOURNAL_DIR, "").strip() or None
+        raw_budget = os.environ.get(ENV_CACHE_MAX_BYTES, "").strip()
+        return cls(
+            cache_dir=cache_dir,
+            jobs=jobs,
+            journal_dir=journal_dir if cache_dir else None,
+            cache_max_bytes=int(raw_budget) if raw_budget else None,
+        )
 
     # -- sweep execution ----------------------------------------------------
 
@@ -748,6 +909,11 @@ class SweepEngine:
         chaos: "ChaosPlan | None" = None,
         engine: str = "fast",
         sampling: SamplingSpec | None = None,
+        memory_budget_mb: float | None = None,
+        shutdown: ShutdownCoordinator | None = None,
+        drain_timeout: float = 30.0,
+        journal_context: dict | None = None,
+        failure_report_path: str | Path | None = None,
     ) -> SweepOutcome:
         """Run every (trace, policy) cell and assemble a :class:`RunMatrix`.
 
@@ -790,6 +956,30 @@ class SweepEngine:
         group path (a batch plan replays every access by construction)
         and refuse telemetry, sanitize and chaos, which all need the
         full access stream.
+
+        ``memory_budget_mb`` arms a per-worker RSS watchdog on every
+        cell: a cell that blows the budget fails with a structured
+        :class:`~repro.errors.MemoryBudgetError` (retried with a strike
+        under ``retry``; classified poison otherwise) instead of drawing
+        the OS OOM-killer onto the pool.
+
+        With the engine's ``journal_dir`` set (and a cache configured),
+        the sweep writes a crash-safe run journal: every finished cell
+        is fsync'd as it completes, and re-running the identical sweep
+        spec auto-resumes at the first incomplete cell — even after
+        ``kill -9``. ``journal_context`` is an opaque document stored in
+        the journal header (the CLI keeps its argv equivalent there so
+        ``repro sweep --resume <run-id>`` can rebuild the sweep).
+
+        ``shutdown`` (a :class:`~repro.resilience.durability.ShutdownCoordinator`)
+        makes the sweep stop cooperatively on SIGTERM/SIGINT: submission
+        halts, in-flight cells drain for at most ``drain_timeout``
+        seconds, the journal and failure report flush, and the sweep
+        raises :class:`~repro.errors.SweepInterrupted` naming the run id
+        to resume from. ``failure_report_path`` persists the
+        schema-versioned failure-report JSON there (default, when
+        journaled: next to the journal) — including on interrupts, so a
+        partial sweep still leaves complete accounting behind.
         """
         if engine not in ("fast", "reference", "batched"):
             raise ConfigurationError(
@@ -821,6 +1011,33 @@ class SweepEngine:
             self.cache.quarantined_count if self.cache is not None else 0
         )
 
+        # The journal needs the cache: the journal records *that* a cell
+        # finished, the cache holds *what* it computed. Without a cache
+        # a resumed run could not restore any result.
+        journal: RunJournal | None = None
+        if self.journal_dir is not None and self.cache is not None:
+            spec_doc = sweep_spec_doc(
+                trace_digests={w: traces[w].digest() for w in traces},
+                policies=list(policies),
+                config_doc=config.to_json_dict(),
+                warmup_fraction=warmup_fraction,
+                sanitize=sanitize,
+                telemetry_doc=(
+                    telemetry.to_json_dict() if telemetry is not None else None
+                ),
+                sampling_doc=(
+                    sampling.to_json_dict() if sampling is not None else None
+                ),
+                salt=self.salt,
+            )
+            journal = RunJournal.open_or_create(
+                self.journal_dir, spec_doc, context=journal_context
+            )
+            if journal is not None and journal.resumed:
+                stats.resumed = sum(
+                    1 for cell in cells if cell in journal.completed_cells
+                )
+
         for workload, policy in cells:
             if progress is not None:
                 progress(workload, policy)
@@ -835,14 +1052,29 @@ class SweepEngine:
                 if cached is not None:
                     resolved[(workload, policy)] = cached
                     stats.hits += 1
+                    if journal is not None:
+                        # Hit bursts are frequent and individually cheap
+                        # to lose; batch their fsync into one flush.
+                        journal.record_cell(
+                            workload, policy, CELL_OK, key=key, sync=False
+                        )
                     continue
             pending.append((workload, policy))
+        if journal is not None:
+            journal.flush()
 
         def record(workload: str, policy: str, result: SimulationResult) -> None:
             resolved[(workload, policy)] = result
             stats.simulated += 1
+            key = None
             if self.cache is not None:
-                self.cache.store(keys[(workload, policy)], result)
+                key = keys[(workload, policy)]
+                self.cache.store(key, result)
+            if journal is not None:
+                # Cache store first, then the fsync'd journal record: a
+                # crash in between leaves a cache entry without a record
+                # (a plain hit on resume), never a record without data.
+                journal.record_cell(workload, policy, CELL_OK, key=key)
 
         def record_failure(
             workload: str,
@@ -850,6 +1082,15 @@ class SweepEngine:
             exc: BaseException,
             classification: str = FailureKind.DETERMINISTIC.value,
         ) -> None:
+            if journal is not None:
+                status = (
+                    CELL_POISONED
+                    if classification == FailureKind.POISON.value
+                    else CELL_FAILED
+                )
+                journal.record_cell(
+                    workload, policy, status, classification=classification
+                )
             if not isolate_failures:
                 raise exc
             stats.errors += 1
@@ -864,57 +1105,111 @@ class SweepEngine:
                 classification=classification,
             )
 
-        # Batched execution runs first and only handles what it can:
-        # eligible cells complete through shared per-trace plans, the
-        # rest fall through to the ordinary per-cell machinery below
-        # (which preserves retry classification, chaos injection and
-        # sanitizer semantics the batch path deliberately excludes).
         cell_engine = "fast" if engine == "batched" else engine
-        if (
-            engine == "batched" and pending and not sanitize
-            and chaos is None and sampling is None
-        ):
-            pending = self._run_batched(
-                pending, traces, config, warmup_fraction, telemetry, record,
-            )
-
-        failure_report: FailureReport | None = None
-        if retry is not None or chaos is not None:
-            failure_report = self._run_resilient(
-                pending, traces, config, warmup_fraction, sanitize, telemetry,
-                retry if retry is not None else RetryPolicy(),
-                chaos, record, record_failure, cell_engine, sampling,
-            )
-            if self.cache is not None:
-                failure_report.quarantined_cache_entries = (
-                    self.cache.quarantined_count - quarantined_before
+        failure_report = (
+            FailureReport() if retry is not None or chaos is not None else None
+        )
+        finished = False
+        try:
+            # Batched execution runs first and only handles what it can:
+            # eligible cells complete through shared per-trace plans, the
+            # rest fall through to the ordinary per-cell machinery below
+            # (which preserves retry classification, chaos injection and
+            # sanitizer semantics the batch path deliberately excludes).
+            if (
+                engine == "batched" and pending and not sanitize
+                and chaos is None and sampling is None
+            ):
+                pending = self._run_batched(
+                    pending, traces, config, warmup_fraction, telemetry, record,
                 )
-        elif self.jobs > 1 and len(pending) > 1:
-            self._run_parallel(
-                pending, traces, config, warmup_fraction, sanitize, telemetry,
-                record, record_failure, cell_engine, sampling,
-            )
-        else:
-            for workload, policy in pending:
-                try:
-                    _, _, result = _simulate_cell(
-                        workload, policy, traces[workload], config,
-                        warmup_fraction, sanitize, telemetry, cell_engine,
-                        sampling,
+
+            if failure_report is not None:
+                self._run_resilient(
+                    pending, traces, config, warmup_fraction, sanitize,
+                    telemetry,
+                    retry if retry is not None else RetryPolicy(),
+                    chaos, record, record_failure, cell_engine, sampling,
+                    failure_report, memory_budget_mb, shutdown, drain_timeout,
+                )
+                if self.cache is not None:
+                    failure_report.quarantined_cache_entries = (
+                        self.cache.quarantined_count - quarantined_before
                     )
-                except (KeyboardInterrupt, SystemExit):
-                    raise  # never swallowed into a CellError
-                except MemoryError as exc:
-                    # Poison: an OOM-ing cell will OOM again; isolate it
-                    # explicitly instead of retrying or mislabeling it.
-                    record_failure(
-                        workload, policy, exc,
-                        classification=FailureKind.POISON.value,
-                    )
-                except Exception as exc:
-                    record_failure(workload, policy, exc)
-                else:
-                    record(workload, policy, result)
+            elif self.jobs > 1 and len(pending) > 1:
+                self._run_parallel(
+                    pending, traces, config, warmup_fraction, sanitize,
+                    telemetry, record, record_failure, cell_engine, sampling,
+                    memory_budget_mb, shutdown, drain_timeout,
+                )
+            else:
+                for workload, policy in pending:
+                    if shutdown is not None and shutdown.requested:
+                        break  # stop submitting; drained cells are recorded
+                    try:
+                        _, _, result = _simulate_cell(
+                            workload, policy, traces[workload], config,
+                            warmup_fraction, sanitize, telemetry, cell_engine,
+                            sampling, memory_budget_mb,
+                        )
+                    except (KeyboardInterrupt, SystemExit):
+                        raise  # never swallowed into a CellError
+                    except (MemoryError, MemoryBudgetError) as exc:
+                        # Poison: an OOM-ing (or budget-blowing) cell will
+                        # do it again; without a retry policy there is no
+                        # strike ladder, so isolate it outright.
+                        record_failure(
+                            workload, policy, exc,
+                            classification=FailureKind.POISON.value,
+                        )
+                    except Exception as exc:
+                        record_failure(workload, policy, exc)
+                    else:
+                        record(workload, policy, result)
+
+            if (
+                shutdown is not None
+                and shutdown.requested
+                and len(resolved) + len(errors) < len(cells)
+            ):
+                done = len(resolved) + len(errors)
+                raise SweepInterrupted(
+                    f"sweep interrupted by {shutdown.signal_name or 'shutdown'}"
+                    f" after {done}/{len(cells)} cells"
+                    + (
+                        f"; resume with run id {journal.run_id}"
+                        if journal is not None
+                        else ""
+                    ),
+                    run_id=journal.run_id if journal is not None else None,
+                )
+            finished = True
+        finally:
+            # Runs on success, interrupt (including KeyboardInterrupt on
+            # the serial path) and failure alike: seal the journal and
+            # persist the failure report so a partial sweep still leaves
+            # complete, resumable accounting on disk.
+            if journal is not None:
+                journal.close(
+                    complete=finished
+                    and len(resolved) + len(errors) == len(cells)
+                )
+            if failure_report is not None:
+                report_target = failure_report_path
+                if report_target is None and journal is not None:
+                    report_target = journal.failure_report_path
+                if report_target is not None:
+                    try:
+                        write_failure_report(
+                            report_target, failure_report.to_json_dict()
+                        )
+                    except OSError as exc:
+                        warnings.warn(
+                            f"could not persist the failure report to "
+                            f"{report_target} ({exc})",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
 
         matrix = RunMatrix(config=config)
         for workload in traces:
@@ -928,6 +1223,8 @@ class SweepEngine:
         return SweepOutcome(
             matrix=matrix, errors=errors, stats=stats,
             failure_report=failure_report,
+            run_id=journal.run_id if journal is not None else None,
+            journal_path=journal.path if journal is not None else None,
         )
 
     def _run_resilient(
@@ -944,14 +1241,21 @@ class SweepEngine:
         record_failure: Callable[..., None],
         engine: str = "fast",
         sampling: SamplingSpec | None = None,
+        report: FailureReport | None = None,
+        memory_budget_mb: float | None = None,
+        shutdown: ShutdownCoordinator | None = None,
+        drain_timeout: float = 30.0,
     ) -> FailureReport:
         """Run pending cells through the fault-tolerant executor.
 
         The watchdog and chaos injection both need cells in worker
         processes (a hung or crashing in-process cell takes the sweep
         with it), so either forces the pool path even at ``jobs=1``.
+        ``report`` is filled in place (the engine passes its own so the
+        partial report survives an interrupt mid-run).
         """
-        report = FailureReport()
+        if report is None:
+            report = FailureReport()
         use_pool = (
             self.jobs > 1 or retry.cell_timeout is not None or chaos is not None
         )
@@ -963,7 +1267,7 @@ class SweepEngine:
                 return pool.submit(
                     _chaos_simulate_cell, chaos, workload, policy,
                     traces[workload], config, warmup_fraction, sanitize,
-                    telemetry,
+                    telemetry, memory_budget_mb,
                 )
         else:
             def submit(pool, workload: str, policy: str, attempt: int):  # noqa: ARG001
@@ -972,13 +1276,13 @@ class SweepEngine:
                 return pool.submit(
                     _simulate_cell_by_name, workload, policy,
                     config, warmup_fraction, sanitize, telemetry, engine,
-                    sampling,
+                    sampling, memory_budget_mb,
                 )
 
         def run_inline(workload: str, policy: str, attempt: int):  # noqa: ARG001
             return _simulate_cell(
                 workload, policy, traces[workload], config, warmup_fraction,
-                sanitize, telemetry, engine, sampling,
+                sanitize, telemetry, engine, sampling, memory_budget_mb,
             )
 
         def on_success(workload: str, policy: str, payload: object) -> None:
@@ -1011,6 +1315,8 @@ class SweepEngine:
             on_failure=on_failure,
             report=report,
             pool_factory=pool_factory,
+            shutdown=shutdown,
+            drain_timeout=drain_timeout,
         )
         if use_pool and pending:
             executor.run_pool(pending)
@@ -1030,12 +1336,18 @@ class SweepEngine:
         record_failure: Callable[..., None],
         engine: str = "fast",
         sampling: SamplingSpec | None = None,
+        memory_budget_mb: float | None = None,
+        shutdown: ShutdownCoordinator | None = None,
+        drain_timeout: float = 30.0,
     ) -> None:
         """Fan pending cells out over a process pool, streaming results.
 
         Results are recorded (and checkpointed to the cache) as each
         future completes, not at the end — an interrupt mid-sweep keeps
-        everything already finished.
+        everything already finished. With ``shutdown`` armed the wait
+        loop polls the flag (Python signal handlers cannot interrupt a
+        ``concurrent.futures`` wait): on request, queued cells are
+        cancelled and running ones drain for ``drain_timeout`` seconds.
         """
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(
@@ -1047,31 +1359,61 @@ class SweepEngine:
                 pool.submit(
                     _simulate_cell_by_name, workload, policy,
                     config, warmup_fraction, sanitize, telemetry, engine,
-                    sampling,
+                    sampling, memory_budget_mb,
                 ): (workload, policy)
                 for workload, policy in pending
             }
             outstanding = set(futures)
+
+            def consume(done: set[Future]) -> None:
+                for future in done:
+                    if future.cancelled():
+                        continue  # shutdown cancelled it before it started
+                    workload, policy = futures[future]
+                    try:
+                        _, _, result = future.result()
+                    except (KeyboardInterrupt, SystemExit):
+                        raise  # never swallowed into a CellError
+                    except (MemoryError, MemoryBudgetError) as exc:
+                        # Poison, not a generic cell failure: retrying
+                        # an OOM-ing cell only re-kills workers.
+                        record_failure(
+                            workload, policy, exc,
+                            classification=FailureKind.POISON.value,
+                        )
+                    except Exception as exc:
+                        record_failure(workload, policy, exc)
+                    else:
+                        record(workload, policy, result)
+
             try:
                 while outstanding:
-                    done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        workload, policy = futures[future]
-                        try:
-                            _, _, result = future.result()
-                        except (KeyboardInterrupt, SystemExit):
-                            raise  # never swallowed into a CellError
-                        except MemoryError as exc:
-                            # Poison, not a generic cell failure: retrying
-                            # an OOM-ing cell only re-kills workers.
-                            record_failure(
-                                workload, policy, exc,
-                                classification=FailureKind.POISON.value,
+                    # Checked before waiting so a request that landed
+                    # before (or between) wait slices cancels queued
+                    # cells immediately instead of letting them start
+                    # during one more slice.
+                    if shutdown is not None and shutdown.requested:
+                        # Graceful stop: queued cells are abandoned (the
+                        # journal marks them incomplete, so a resume
+                        # re-runs them); already-running cells get a
+                        # drain window to finish and be checkpointed.
+                        for future in outstanding:
+                            future.cancel()
+                        deadline = time.monotonic() + drain_timeout
+                        while outstanding and time.monotonic() < deadline:
+                            done, outstanding = wait(
+                                outstanding, timeout=0.25,
+                                return_when=FIRST_COMPLETED,
                             )
-                        except Exception as exc:
-                            record_failure(workload, policy, exc)
-                        else:
-                            record(workload, policy, result)
+                            consume(done)
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        return
+                    slice_timeout = 0.5 if shutdown is not None else None
+                    done, outstanding = wait(
+                        outstanding, timeout=slice_timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    consume(done)
             except BaseException:
                 # Abandon queued cells so a failing sweep (or Ctrl-C)
                 # doesn't wait for the whole matrix; completed cells are

@@ -23,6 +23,9 @@ from ..policies.registry import BASELINE_POLICY
 from ..trace.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (engine imports us)
+    from pathlib import Path
+
+    from ..resilience.durability import ShutdownCoordinator
     from ..resilience.policy import RetryPolicy
     from ..resilience.report import FailureReport
     from ..sampling.spec import SamplingSpec
@@ -46,6 +49,11 @@ class RunMatrix:
     #: Filled by the sweep engine when a retry policy was armed: every
     #: failure the resilience layer absorbed (None otherwise).
     failure_report: "FailureReport | None" = None
+    #: Filled by the sweep engine when a run journal was armed: the
+    #: journalled run id (``repro sweep --resume <run_id>``) and the
+    #: journal file itself (None when journalling was off).
+    run_id: "str | None" = None
+    journal_path: "Path | None" = None
 
     @property
     def workloads(self) -> list[str]:
@@ -103,6 +111,11 @@ def run_matrix(
     retry: "RetryPolicy | None" = None,
     cell_engine: str = "fast",
     sampling: "SamplingSpec | None" = None,
+    memory_budget_mb: float | None = None,
+    shutdown: "ShutdownCoordinator | None" = None,
+    drain_timeout: float = 30.0,
+    journal_context: dict | None = None,
+    failure_report_path: "str | Path | None" = None,
 ) -> RunMatrix:
     """Simulate every (trace, policy) pair through the sweep engine.
 
@@ -136,6 +149,16 @@ def run_matrix(
     (:mod:`repro.sampling`, docs/sampling.md): only weighted
     representative intervals simulate and each cell's result is a
     recombined estimate, cached under a key that includes the spec.
+
+    The durability knobs thread straight through to the engine (see
+    docs/resilience.md): ``memory_budget_mb`` arms the per-worker RSS
+    watchdog, ``shutdown``/``drain_timeout`` wire in a
+    :class:`~repro.resilience.durability.ShutdownCoordinator` for
+    graceful SIGTERM/SIGINT handling, ``journal_context`` is stored in
+    the run journal's header (``repro sweep --resume`` rebuilds its
+    arguments from it), and ``failure_report_path`` overrides where a
+    persisted failure report lands. When the engine journals the run,
+    ``matrix.run_id`` / ``matrix.journal_path`` identify it.
     """
     from .engine import SweepEngine
 
@@ -152,7 +175,14 @@ def run_matrix(
         retry=retry,
         engine=cell_engine,
         sampling=sampling,
+        memory_budget_mb=memory_budget_mb,
+        shutdown=shutdown,
+        drain_timeout=drain_timeout,
+        journal_context=journal_context,
+        failure_report_path=failure_report_path,
     )
     outcome.matrix.sweep_stats = outcome.stats
     outcome.matrix.failure_report = outcome.failure_report
+    outcome.matrix.run_id = outcome.run_id
+    outcome.matrix.journal_path = outcome.journal_path
     return outcome.matrix

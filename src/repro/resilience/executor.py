@@ -41,7 +41,8 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from ..errors import CellTimeoutError
+from ..errors import CellTimeoutError, MemoryBudgetError
+from .durability import ShutdownCoordinator
 from .policy import FailureKind, RetryPolicy, classify_failure
 from .report import (
     OUTCOME_FAILED,
@@ -54,6 +55,11 @@ from .report import (
 #: Floor on the wait() slice so a pathological deadline spread cannot
 #: degenerate into a busy loop.
 _MIN_WAIT = 0.01
+
+#: Ceiling on waits while a shutdown coordinator is armed: Python signal
+#: handlers cannot interrupt ``concurrent.futures.wait`` or a PEP-475
+#: ``time.sleep``, so the loop must come up for air to see the flag.
+_SHUTDOWN_POLL = 0.5
 
 
 @dataclass
@@ -100,6 +106,12 @@ class ResilientExecutor:
         sweep engine uses it to install per-worker state — the trace
         registry — via a pool initializer; ``None`` falls back to a
         plain pool of ``workers`` processes.
+    shutdown:
+        Optional :class:`~repro.resilience.durability.ShutdownCoordinator`.
+        When its flag is raised the executor stops submitting, drains
+        in-flight cells for at most ``drain_timeout`` seconds, and
+        returns — unfinished cells are simply left unrun (the journal
+        marks them incomplete, so a resume re-runs them).
     """
 
     def __init__(
@@ -112,6 +124,8 @@ class ResilientExecutor:
         on_failure: Callable[[str, str, BaseException, FailureKind], None],
         report: FailureReport,
         pool_factory: Callable[[], ProcessPoolExecutor] | None = None,
+        shutdown: ShutdownCoordinator | None = None,
+        drain_timeout: float = 30.0,
     ) -> None:
         self.retry = retry
         self.workers = max(1, workers)
@@ -121,6 +135,11 @@ class ResilientExecutor:
         self.on_failure = on_failure
         self.report = report
         self.pool_factory = pool_factory
+        self.shutdown = shutdown
+        self.drain_timeout = drain_timeout
+
+    def _stopping(self) -> bool:
+        return self.shutdown is not None and self.shutdown.requested
 
     # -- shared bookkeeping -------------------------------------------------
 
@@ -179,6 +198,8 @@ class ResilientExecutor:
         sweeps hermetic.
         """
         for workload, policy in cells:
+            if self._stopping():
+                return  # remaining cells stay unrun (resumable)
             cell = _CellState(workload, policy)
             while True:
                 started = time.monotonic()
@@ -192,11 +213,16 @@ class ResilientExecutor:
                         cell,
                         exc,
                         duration=time.monotonic() - started,
-                        strike=False,
+                        # Memory-budget breaches strike even in-process:
+                        # a cell that keeps blowing its budget must walk
+                        # the same ladder to poison as a worker-killer.
+                        strike=isinstance(exc, MemoryBudgetError),
                         reschedule=lambda _cell, backoff: retry_delay.append(backoff),
                     )
                     if not retry_delay:
                         break  # abandoned (on_failure already ran)
+                    if self._stopping():
+                        break  # skip the backoff wait; cell resumes later
                     time.sleep(retry_delay[0])
                 else:
                     self._succeed(cell, result)
@@ -218,6 +244,9 @@ class ResilientExecutor:
 
         try:
             while queue or delayed or inflight:
+                if self._stopping():
+                    self._drain(inflight)
+                    return  # queue/delayed cells stay unrun (resumable)
                 now = time.monotonic()
                 while delayed and delayed[0][0] <= now:
                     queue.append(heapq.heappop(delayed)[2])
@@ -236,7 +265,12 @@ class ResilientExecutor:
 
                 if not inflight:
                     if delayed:  # everything is backing off
-                        time.sleep(max(_MIN_WAIT, delayed[0][0] - time.monotonic()))
+                        pause = max(_MIN_WAIT, delayed[0][0] - time.monotonic())
+                        if self.shutdown is not None:
+                            # Signal handlers cannot interrupt the sleep
+                            # (PEP 475 retries it); poll the flag instead.
+                            pause = min(pause, _SHUTDOWN_POLL)
+                        time.sleep(pause)
                     continue
 
                 done, _ = wait(
@@ -258,7 +292,12 @@ class ResilientExecutor:
                         self._absorb(cell, exc, duration, strike=True,
                                      reschedule=reschedule)
                     except Exception as exc:
-                        self._absorb(cell, exc, duration, strike=False,
+                        # A memory-budget breach counts as a strike: the
+                        # worker survived (unlike an OOM kill), but a
+                        # cell that keeps blowing its budget must still
+                        # reach poison before the OS OOM-killer does.
+                        self._absorb(cell, exc, duration,
+                                     strike=isinstance(exc, MemoryBudgetError),
                                      reschedule=reschedule)
                     else:
                         self._succeed(cell, result)
@@ -287,8 +326,8 @@ class ResilientExecutor:
             if pool is not None:
                 self._shutdown_pool(pool, kill=True)
 
-    @staticmethod
     def _wait_slice(
+        self,
         inflight: dict[Future, tuple[_CellState, float, float]],
         delayed: list[tuple[float, int, _CellState]],
     ) -> float | None:
@@ -297,9 +336,48 @@ class ResilientExecutor:
         horizon = min(deadline for _, _, deadline in inflight.values())
         if delayed:
             horizon = min(horizon, delayed[0][0])
+        if self.shutdown is not None:
+            return min(_SHUTDOWN_POLL, max(_MIN_WAIT, horizon - now))
         if horizon == float("inf"):
             return None
         return max(_MIN_WAIT, horizon - now)
+
+    def _drain(self, inflight: dict[Future, tuple[_CellState, float, float]]) -> None:
+        """Give in-flight cells a bounded window to finish, then stop.
+
+        Completed cells are recorded (and checkpointed by the engine's
+        callbacks) like any other; cells that fail — or are still
+        running when the drain deadline expires — are left unfinished
+        without retrying, so the journal marks them incomplete and a
+        resume re-runs them. The caller's ``finally`` kills the pool.
+        """
+        deadline = time.monotonic() + self.drain_timeout
+        while inflight and time.monotonic() < deadline:
+            done, _ = wait(set(inflight), timeout=0.25,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                cell, started, _ = inflight.pop(future)
+                duration = time.monotonic() - started
+                try:
+                    result = future.result()
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:
+                    # Account for the attempt but never resubmit during
+                    # a shutdown; the cell simply stays unfinished.
+                    self.report.record_attempt(
+                        cell.workload,
+                        cell.policy,
+                        CellAttempt(
+                            attempt=cell.attempt,
+                            classification=classify_failure(exc).value,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            duration=duration,
+                        ),
+                    )
+                else:
+                    self._succeed(cell, result)
 
     def _recycle_pool(
         self,

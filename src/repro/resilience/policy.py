@@ -29,7 +29,12 @@ import hashlib
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from ..errors import CellTimeoutError, ConfigurationError, ReproError
+from ..errors import (
+    CellTimeoutError,
+    ConfigurationError,
+    MemoryBudgetError,
+    ReproError,
+)
 
 
 class FailureKind(str, enum.Enum):
@@ -44,14 +49,21 @@ def classify_failure(exc: BaseException) -> FailureKind:
     """Map one exception to the failure taxonomy.
 
     ``MemoryError`` is poison: an OOM-ing cell will OOM again and takes
-    a worker with it each time. Worker death, timeouts and OS-level
-    refusals are transient. Everything else — including every
-    :class:`~repro.errors.ReproError` — is deterministic: the same
-    inputs produce the same failure, so it is reported, not retried.
+    a worker with it each time. A
+    :class:`~repro.errors.MemoryBudgetError` (the RSS watchdog tripping
+    *before* the OOM-killer) is transient instead — the worker survived
+    and a one-off pressure spike recovers on retry — but the executor
+    charges it a strike, so a cell that keeps blowing its budget still
+    walks the ladder to poison. (The check must precede the generic
+    ``ReproError`` branch, which the budget error subclasses.) Worker
+    death, timeouts and OS-level refusals are transient. Everything
+    else — including every :class:`~repro.errors.ReproError` — is
+    deterministic: the same inputs produce the same failure, so it is
+    reported, not retried.
     """
     if isinstance(exc, MemoryError):
         return FailureKind.POISON
-    if isinstance(exc, (BrokenProcessPool, CellTimeoutError)):
+    if isinstance(exc, (BrokenProcessPool, CellTimeoutError, MemoryBudgetError)):
         return FailureKind.TRANSIENT
     if isinstance(exc, ReproError):
         return FailureKind.DETERMINISTIC

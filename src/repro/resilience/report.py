@@ -20,6 +20,11 @@ OUTCOME_RECOVERED = "recovered"
 OUTCOME_FAILED = "failed"
 OUTCOME_POISONED = "poisoned"
 
+#: Schema version of the persisted failure-report JSON document
+#: (``repro sweep --failure-report``, nightly artifacts). Bump on any
+#: incompatible change to :meth:`FailureReport.to_json_dict`.
+FAILURE_REPORT_SCHEMA_VERSION = 1
+
 
 @dataclass
 class CellAttempt:
@@ -121,6 +126,8 @@ class FailureReport:
 
     def to_json_dict(self) -> dict:
         return {
+            "schema": FAILURE_REPORT_SCHEMA_VERSION,
+            "clean": self.clean,
             "quarantined_cache_entries": self.quarantined_cache_entries,
             "pool_rebuilds": self.pool_rebuilds,
             "cells": [

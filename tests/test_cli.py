@@ -300,3 +300,81 @@ class TestExperiment:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestDurableSweep:
+    """CLI surface of the run journal, resume, and cache verify --json."""
+
+    def test_journalled_sweep_prints_run_id_and_resumes(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "journal"))
+        argv = ["sweep", "gap.cc.10", "--policies", "srrip",
+                "--window", "5000", "--jobs", "1"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "journalled at" in err
+        run_id = err.split("run ")[-1].split(" journalled")[0]
+        assert len(run_id) == 16
+
+        # --resume with no workloads rebuilds the sweep from the header;
+        # everything is journalled, so it completes on cache hits alone.
+        assert main(["sweep", "--resume", run_id]) == 0
+        err = capsys.readouterr().err
+        assert f"resuming run {run_id}" in err
+        assert "2 cell(s) already journalled" in err
+
+    def test_sweep_without_workloads_or_resume_fails(self, capsys):
+        rc = main(["sweep"])
+        assert rc == 1
+        assert "at least one workload" in capsys.readouterr().err
+
+    def test_resume_with_no_cache_rejected(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "journal"))
+        rc = main(["sweep", "--resume", "0" * 16, "--no-cache"])
+        assert rc == 1
+        assert "--resume needs the result cache" in capsys.readouterr().err
+
+    def test_resume_unknown_run_id_fails_cleanly(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "journal"))
+        rc = main(["sweep", "--resume", "deadbeefdeadbeef"])
+        assert rc == 1
+        assert "deadbeefdeadbeef" in capsys.readouterr().err
+
+    def test_cache_verify_json_clean_and_corrupt(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+        from pathlib import Path
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "journal"))
+        main(["sweep", "gap.cc.10", "--policies", "srrip",
+              "--window", "5000", "--jobs", "1"])
+        capsys.readouterr()
+
+        assert main(["cache", "verify", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+        assert report["checked"] == 2
+
+        entry = next(p for p in Path(tmp_path).rglob("*.json")
+                     if p.parent.name != "quarantine")
+        entry.write_text(entry.read_text()[:-20], encoding="utf-8")
+        assert main(["cache", "verify", "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is False
+        assert report["quarantined"] == 1
+
+        # The corrupt entry is now quarantined; verify keeps failing on
+        # the quarantine evidence until it is inspected and cleared.
+        assert main(["cache", "verify", "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["previously_quarantined"] == 1
+
+    def test_chaos_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--scenario", "nope"])
